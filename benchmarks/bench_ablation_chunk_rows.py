@@ -1,0 +1,54 @@
+"""Ablation A1 — rows streamed to the device per chunk.
+
+The paper streams the cube through the 6 GB device a fixed small number of
+detector rows at a time (the Fig. 2 example uses 2 rows).  This ablation
+sweeps the rows-per-chunk setting on a fixed workload: small chunks pay the
+per-transfer latency and kernel-launch overhead many times, very large chunks
+are limited by device memory.  The modelled device time exposes the paper's
+design trade-off directly; wall-clock follows the same trend more noisily.
+"""
+
+import pytest
+
+from _bench_utils import SeriesCollector, run_and_time
+from repro.core.backends import get_backend
+from repro.core.config import ReconstructionConfig
+
+ROWS_PER_CHUNK = (1, 2, 4, 8, None)  # None = largest chunk that fits device memory
+
+collector = SeriesCollector("Ablation: rows per device chunk (5.2G-scaled workload)", x_label="rows/chunk")
+
+
+@pytest.mark.parametrize("rows", ROWS_PER_CHUNK, ids=lambda r: "auto" if r is None else str(r))
+def test_chunk_rows_sweep(benchmark, workload_cache, rows):
+    workload = workload_cache("5.2G")
+    label = "auto" if rows is None else str(rows)
+    seconds = benchmark.pedantic(
+        run_and_time,
+        args=(workload, "gpusim"),
+        kwargs={"rows_per_chunk": rows},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    collector.add(label, "wall", seconds)
+
+    config = ReconstructionConfig(grid=workload.grid, backend="gpusim", rows_per_chunk=rows)
+    _, report = get_backend("gpusim").reconstruct(workload.stack, config)
+    collector.add(label, "modelled", report.simulated_device_time)
+    collector.add(label, "chunks", float(report.n_chunks))
+    benchmark.extra_info["n_chunks"] = report.n_chunks
+    benchmark.extra_info["modelled_seconds"] = report.simulated_device_time
+
+
+def test_chunk_rows_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "1" not in collector.series or "auto" not in collector.series:
+        pytest.skip("sweep benchmarks did not run (run the whole file)")
+    # one-row chunks must pay more modelled overhead than the auto chunking
+    assert collector.series["1"]["modelled"] >= collector.series["auto"]["modelled"]
+    print(collector.report([
+        "",
+        "Smaller chunks repeat the per-transfer latency and kernel-launch overhead;",
+        "the auto setting picks the largest chunk that fits the device memory cap.",
+    ]))

@@ -1,0 +1,82 @@
+"""Experiment E1 — Fig. 4: flat 1-D array layout vs pointer-based 3-D layout.
+
+The paper's design discussion weighs two ways of holding the image cube on
+the device: a pointer-based 3-D layout (direct indexing, but extra pointer
+tables and one transfer per slab) and a flattened 1-D layout (index
+arithmetic per access, one transfer per chunk).  Fig. 4 shows the 1-D layout
+winning at every pixel percentage on a 5 GB data set.
+
+Both layouts run on the GPU-sim backend here; wall-clock and the modelled
+device time (which is where the pointer-table transfer overhead shows up
+directly) are reported.
+"""
+
+import pytest
+
+from _bench_utils import SeriesCollector, run_and_time
+from repro.core.backends import get_backend
+from repro.core.config import ReconstructionConfig
+
+FRACTIONS = {0.25: "25%", 0.5: "50%", 1.0: "100%"}
+LAYOUTS = ("pointer3d", "flat1d")
+
+#: Fig. 4 values read off the paper (seconds, GPU implementation).
+PAPER_FIG4_3D_ARRAY = {"25%": 560.0, "50%": 830.0, "100%": 1300.0}
+PAPER_FIG4_1D_ARRAY = {"25%": 500.0, "50%": 700.0, "100%": 1170.0}
+
+collector = SeriesCollector(
+    "Fig. 4 reproduction: 1-D vs 3-D device array layout (GPU-sim, wall seconds)",
+    x_label="pixel %",
+)
+model_collector = SeriesCollector(
+    "Fig. 4 reproduction: modelled device time (transfers + kernels, seconds)",
+    x_label="pixel %",
+)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+@pytest.mark.parametrize("fraction", list(FRACTIONS))
+def test_fig4_layout_sweep(benchmark, workload_cache, fraction, layout):
+    workload = workload_cache("5.2G", pixel_fraction=fraction)
+    seconds = benchmark.pedantic(
+        run_and_time,
+        args=(workload, "gpusim"),
+        kwargs={"layout": layout},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    collector.add(FRACTIONS[fraction], layout, seconds)
+
+    # also record the modelled device time, where the extra transfers of the
+    # pointer layout are directly visible
+    config = ReconstructionConfig(grid=workload.grid, backend="gpusim", layout=layout)
+    _, report = get_backend("gpusim").reconstruct(workload.stack, config)
+    model_collector.add(FRACTIONS[fraction], layout, report.simulated_device_time)
+    benchmark.extra_info["layout"] = layout
+    benchmark.extra_info["simulated_device_seconds"] = report.simulated_device_time
+    benchmark.extra_info["transfer_fraction"] = report.transfer_fraction
+
+
+def test_fig4_report_and_shape(benchmark):
+    """The flat 1-D layout must beat the pointer 3-D layout on modelled device time."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    labels = list(FRACTIONS.values())
+    for label in labels:
+        row = model_collector.series.get(label, {})
+        if set(row) != {"flat1d", "pointer3d"}:
+            pytest.skip("sweep benchmarks did not run (run the whole file)")
+        assert row["flat1d"] < row["pointer3d"], (
+            f"flat 1-D layout should be faster than pointer 3-D at {label}: {row}"
+        )
+
+    extra = [
+        "",
+        "paper Fig. 4 (s): " + "  ".join(
+            f"{p}: 3D {PAPER_FIG4_3D_ARRAY[p]:.0f}/1D {PAPER_FIG4_1D_ARRAY[p]:.0f}" for p in labels
+        ),
+        "paper conclusion: the 1-D array design saves time at every pixel percentage,",
+        "because the 3-D design ships extra pointer tables (and per-slab copies) over PCIe.",
+    ]
+    print(collector.report())
+    print(model_collector.report(extra))

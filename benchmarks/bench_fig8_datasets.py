@@ -1,0 +1,75 @@
+"""Experiment E2 — Fig. 8: CPU vs GPU total time across data-set sizes.
+
+The paper runs the original CPU program and the CUDA port on four detector
+data sets (2.1, 2.7, 3.6 and 5.2 GB) and reports total run time; the GPU
+version takes 25-30 % of the CPU time on the larger sets and its time grows
+much more slowly with data size.
+
+Here the same sweep runs on proportionally scaled synthetic workloads:
+``cpu_reference`` is the paper's CPU baseline (scalar per-element loop) and
+``gpusim`` is the paper's CUDA design on the simulated device (chunked
+streaming, flat 1-D layout).  The shape to check: the GPU-design time is a
+small fraction of the CPU time, and the gap widens as the data grow.
+"""
+
+import pytest
+
+from _bench_utils import SeriesCollector, run_and_time
+from repro.perf.modelruns import PAPER_FIG8_CPU_SECONDS, PAPER_FIG8_GPU_SECONDS, predict_figure8
+
+DATASETS = ["2.1G", "2.7G", "3.6G", "5.2G"]
+BACKENDS = {"cpu_reference": "CPU", "gpusim": "GPU"}
+
+collector = SeriesCollector(
+    "Fig. 8 reproduction: CPU vs GPU across data-set sizes (measured, scaled workloads)"
+)
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig8_dataset_sweep(benchmark, workload_cache, dataset, backend):
+    workload = workload_cache(dataset)
+    seconds = benchmark.pedantic(
+        run_and_time, args=(workload, backend), rounds=1, iterations=1, warmup_rounds=0
+    )
+    collector.add(dataset, BACKENDS[backend], seconds)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["cube_bytes"] = workload.actual_bytes
+    benchmark.extra_info["paper_seconds"] = (
+        PAPER_FIG8_CPU_SECONDS[dataset] if backend == "cpu_reference" else PAPER_FIG8_GPU_SECONDS[dataset]
+    )
+
+
+def test_fig8_report_and_shape(benchmark):
+    """Assert the figure's qualitative shape and print the series table."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test in --benchmark-only runs
+    ratios = []
+    cpu_times = []
+    gpu_times = []
+    for dataset in DATASETS:
+        row = collector.series.get(dataset, {})
+        if "CPU" not in row or "GPU" not in row:
+            pytest.skip("sweep benchmarks did not run (run the whole file)")
+        cpu_times.append(row["CPU"])
+        gpu_times.append(row["GPU"])
+        ratios.append(row["GPU"] / row["CPU"])
+
+    # paper shape: GPU wins everywhere, and CPU time grows faster with size
+    assert all(r < 1.0 for r in ratios), f"GPU slower than CPU somewhere: {ratios}"
+    assert cpu_times[-1] > cpu_times[0]
+    assert (gpu_times[-1] / gpu_times[0]) < (cpu_times[-1] / cpu_times[0]) * 1.5
+
+    model = predict_figure8()
+    extra = [
+        "",
+        "paper-reported totals (s):      " + "  ".join(
+            f"{d}: CPU {PAPER_FIG8_CPU_SECONDS[d]:.0f}/GPU {PAPER_FIG8_GPU_SECONDS[d]:.0f}" for d in DATASETS
+        ),
+        "analytic paper-scale model (s): " + "  ".join(
+            f"{d}: CPU {model[d].cpu_seconds:.0f}/GPU {model[d].gpu_seconds:.0f}" for d in DATASETS
+        ),
+        "measured GPU/CPU ratios (scaled workloads): "
+        + ", ".join(f"{d}={r:.2f}" for d, r in zip(DATASETS, ratios)),
+        "paper headline: GPU total time is 25-30 % of the CPU total time.",
+    ]
+    print(collector.report(extra))

@@ -1,0 +1,71 @@
+"""Experiment E3 — Fig. 9: CPU vs GPU total time across pixel percentages.
+
+The paper fixes the largest data set (5.2 GB) and processes 25 %, 50 % and
+100 % of the pixels; both versions get slower with more pixels, but the GPU
+version's advantage grows with the amount of work.
+
+The pixel percentage maps to the ``pixel_mask`` of the workload (the
+``d_cutoff`` mechanism of the original kernel): masked-out pixels cost no
+reconstruction work in either backend.
+"""
+
+import pytest
+
+from _bench_utils import SeriesCollector, run_and_time
+from repro.perf.modelruns import PAPER_FIG9_CPU_SECONDS, PAPER_FIG9_GPU_SECONDS, predict_figure9
+
+FRACTIONS = {0.25: "25%", 0.5: "50%", 1.0: "100%"}
+BACKENDS = {"cpu_reference": "CPU", "gpusim": "GPU"}
+
+collector = SeriesCollector(
+    "Fig. 9 reproduction: CPU vs GPU across pixel percentages (5.2G-scaled workload)",
+    x_label="pixel %",
+)
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+@pytest.mark.parametrize("fraction", list(FRACTIONS))
+def test_fig9_pixel_percentage_sweep(benchmark, workload_cache, fraction, backend):
+    workload = workload_cache("5.2G", pixel_fraction=fraction)
+    seconds = benchmark.pedantic(
+        run_and_time, args=(workload, backend), rounds=1, iterations=1, warmup_rounds=0
+    )
+    collector.add(FRACTIONS[fraction], BACKENDS[backend], seconds)
+    benchmark.extra_info["pixel_fraction"] = fraction
+    benchmark.extra_info["paper_seconds"] = (
+        PAPER_FIG9_CPU_SECONDS[FRACTIONS[fraction]]
+        if backend == "cpu_reference"
+        else PAPER_FIG9_GPU_SECONDS[FRACTIONS[fraction]]
+    )
+
+
+def test_fig9_report_and_shape(benchmark):
+    """Assert the figure's qualitative shape and print the series table."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    labels = list(FRACTIONS.values())
+    cpu_times, gpu_times = [], []
+    for label in labels:
+        row = collector.series.get(label, {})
+        if "CPU" not in row or "GPU" not in row:
+            pytest.skip("sweep benchmarks did not run (run the whole file)")
+        cpu_times.append(row["CPU"])
+        gpu_times.append(row["GPU"])
+
+    # paper shape: GPU faster at every pixel percentage, CPU time grows
+    # steeply with the pixel count
+    for cpu, gpu in zip(cpu_times, gpu_times):
+        assert gpu < cpu
+    assert cpu_times[-1] > cpu_times[0]
+
+    model = predict_figure9()
+    extra = [
+        "",
+        "paper-reported totals (s):      " + "  ".join(
+            f"{p}: CPU {PAPER_FIG9_CPU_SECONDS[p]:.0f}/GPU {PAPER_FIG9_GPU_SECONDS[p]:.0f}" for p in labels
+        ),
+        "analytic paper-scale model (s): " + "  ".join(
+            f"{p}: CPU {model[p].cpu_seconds:.0f}/GPU {model[p].gpu_seconds:.0f}" for p in labels
+        ),
+        "paper: the more pixels are handled, the better the GPU does relative to the CPU.",
+    ]
+    print(collector.report(extra))

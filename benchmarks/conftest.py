@@ -1,0 +1,35 @@
+"""Fixtures for the benchmark suite.
+
+The byte-scale of the generated workloads can be raised with the
+``REPRO_BENCH_SCALE`` environment variable (default keeps the whole suite
+under a couple of minutes on a laptop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import bench_scale
+from repro.synthetic.workloads import make_benchmark_workload
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Byte-scale factor for generated workloads."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Memoised workload generation shared across benchmark modules."""
+    cache = {}
+
+    def get(label: str, pixel_fraction: float = 1.0, seed: int = 0):
+        key = (label, pixel_fraction, seed)
+        if key not in cache:
+            cache[key] = make_benchmark_workload(
+                label, pixel_fraction=pixel_fraction, scale=bench_scale(), seed=seed
+            )
+        return cache[key]
+
+    return get

@@ -1,0 +1,73 @@
+"""Grain depth profiling: recover a multi-grain depth structure with noise.
+
+Run with::
+
+    python examples/grain_depth_profiling.py
+
+The scientific use case behind the depth reconstruction: a polycrystalline
+column is illuminated along the micro-beam and the analysis must say *which
+depth* each diffraction signal comes from, so that grain shapes, orientation
+gradients and strains can be mapped in 3-D.
+
+This example builds a three-grain Cu column, simulates a noisy wire scan,
+reconstructs it with every backend and reports per-grain depth accuracy and
+cross-backend agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DepthGrid, DepthReconstructor
+from repro.synthetic import apply_poisson, make_grain_sample_stack
+
+DEPTH_RANGE = (0.0, 120.0)
+
+
+def main() -> None:
+    stack, source, sample = make_grain_sample_stack(
+        material="Cu", n_grains=3, n_rows=40, n_cols=40, n_positions=241,
+        depth_range=DEPTH_RANGE, seed=21,
+    )
+    rng = np.random.default_rng(0)
+    noisy_stack = apply_poisson(stack, rng, scale=2.0)
+
+    grid = DepthGrid.from_range(*DEPTH_RANGE, 60)
+    print("grains (ground truth):")
+    for index, grain in enumerate(sample.grains):
+        print(f"  grain {index}: depth {grain.depth_start:6.1f} - {grain.depth_stop:6.1f} um, "
+              f"emission {grain.emission:.0f}")
+
+    # reconstruct with every backend and measure agreement
+    reconstructor = DepthReconstructor(grid=grid, backend="vectorized")
+    results = reconstructor.compare_backends(noisy_stack, ["cpu_reference", "vectorized", "gpusim"])
+    reference = results["cpu_reference"][0]
+    print("\nbackend agreement and timing:")
+    for name, (result, report) in results.items():
+        max_dev = float(np.max(np.abs(result.data - reference.data)))
+        print(f"  {name:<14s} wall {report.wall_time:7.3f} s   max |dev| vs cpu_reference {max_dev:.2e}")
+
+    # per-grain recovered intensity share
+    result = results["vectorized"][0]
+    profile = result.integrated_profile()
+    print("\nintegrated intensity per grain depth interval (reconstructed vs true):")
+    true_profile = source.source.sum(axis=(1, 2))
+    for index, grain in enumerate(sample.grains):
+        in_grain = (grid.centers >= grain.depth_start) & (grid.centers < grain.depth_stop)
+        true_in_grain = (source.depth_samples >= grain.depth_start) & (source.depth_samples < grain.depth_stop)
+        recon_share = profile[in_grain].sum() / profile.sum() if profile.sum() > 0 else 0.0
+        true_share = true_profile[true_in_grain].sum() / true_profile.sum()
+        print(f"  grain {index}: reconstructed {recon_share:6.1%} of intensity, true {true_share:6.1%}")
+
+    # per-pixel depth accuracy on the bright (diffracting) pixels
+    truth = source.true_centroid_depth()
+    recon = result.centroid_depth()
+    bright = source.total_image() > 0.1 * source.total_image().max()
+    valid = bright & np.isfinite(truth) & np.isfinite(recon)
+    errors = np.abs(recon - truth)[valid]
+    print(f"\nnoisy-data depth accuracy over {valid.sum()} bright pixels: "
+          f"median |error| {np.median(errors):.2f} um, depth bin {grid.step:.1f} um")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Full simulated experiment: Laue diffraction of a grain column, file pipeline.
+
+Run with::
+
+    python examples/wire_scan_experiment.py [output_directory]
+
+This example follows the original workflow end to end:
+
+1. a columnar Cu sample with several grains at different depths is generated;
+2. its polychromatic Laue pattern is computed and the wire-scan image stack
+   is simulated and written to an h5lite container (the HDF5 stand-in the
+   beamline acquisition would have produced);
+3. the file-to-file pipeline (read → reconstruct on the simulated GPU →
+   write depth-resolved container + text profiles) is run, exactly like the
+   original program;
+4. the recovered grain depths are compared with the ground truth.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DepthGrid
+from repro.core.config import ReconstructionConfig
+from repro.core.pipeline import reconstruct_file
+from repro.io import load_depth_resolved, save_wire_scan
+from repro.synthetic import make_grain_sample_stack
+
+DEPTH_RANGE = (0.0, 120.0)
+
+
+def main(output_dir: str | None = None) -> None:
+    out_dir = Path(output_dir) if output_dir else Path(tempfile.mkdtemp(prefix="repro_experiment_"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # 1-2. sample + forward model + acquisition file
+    print("simulating a Cu grain column and its wire scan ...")
+    stack, source, sample = make_grain_sample_stack(
+        material="Cu", n_grains=3, n_rows=32, n_cols=32, n_positions=201,
+        depth_range=DEPTH_RANGE, seed=11,
+    )
+    boundaries = sample.true_grain_boundaries()
+    print(f"  grains: {len(sample.grains)}, boundaries at "
+          + ", ".join(f"{b:.1f}" for b in boundaries) + " um")
+    scan_path = out_dir / "wire_scan.h5lite"
+    save_wire_scan(scan_path, stack)
+    print(f"  wrote acquisition file {scan_path} ({stack.nbytes / 1e6:.1f} MB)")
+
+    # 3. the reconstruction pipeline (simulated-CUDA backend, like the paper)
+    grid = DepthGrid.from_range(*DEPTH_RANGE, 60)
+    config = ReconstructionConfig(grid=grid, backend="gpusim", layout="flat1d")
+    depth_path = out_dir / "depth_resolved.h5lite"
+    text_path = out_dir / "depth_profiles.txt"
+    outcome = reconstruct_file(str(scan_path), config, output_path=str(depth_path), text_path=str(text_path))
+    print("\nreconstruction report:")
+    print(outcome.report.summary())
+
+    # 4. compare recovered depths with the ground truth
+    result = load_depth_resolved(depth_path)
+    truth_centroid = source.true_centroid_depth()
+    recon_centroid = result.centroid_depth()
+    bright = source.total_image() > 0.1 * source.total_image().max()
+    valid = bright & np.isfinite(truth_centroid) & np.isfinite(recon_centroid)
+    errors = np.abs(recon_centroid - truth_centroid)[valid]
+    print(f"\nper-pixel depth accuracy over {valid.sum()} bright pixels:")
+    print(f"  median |error| = {np.median(errors):.2f} um, "
+          f"90th percentile = {np.percentile(errors, 90):.2f} um "
+          f"(depth bin width {grid.step:.1f} um)")
+
+    profile = result.integrated_profile()
+    print("\nintegrated depth profile (| marks true grain boundaries):")
+    top = profile.max()
+    boundary_bins = {int(grid.depth_to_index(b)) for b in boundaries if grid.contains(b)}
+    for k in range(grid.n_bins):
+        bar = "#" * int(40 * profile[k] / top) if top > 0 else ""
+        marker = " <-- grain boundary" if k in boundary_bins else ""
+        print(f"  {grid.index_to_depth(k):6.1f} um | {bar}{marker}")
+    print(f"\noutputs written to {out_dir}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
+build an editable wheel.  This file enables the legacy development install
+path (``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+falling back to it); all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

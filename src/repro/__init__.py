@@ -1,0 +1,55 @@
+"""repro — Laue wire-scan depth reconstruction with a simulated CUDA device.
+
+A reproduction of *"Accelerating the Depth Reconstruction Algorithm with
+CUDA/GPU"* (Yue, Schwarz, Tischler; CLUSTER 2015): the differential-aperture
+(wire-scan) depth-reconstruction algorithm used at APS sector 34-ID,
+re-implemented in Python with
+
+* a clean reference implementation and a vectorised implementation of the
+  reconstruction (``repro.core``);
+* a software model of the CUDA execution environment the paper ports the
+  algorithm to (``repro.cudasim``);
+* the experiment geometry, a minimal crystallography layer and a synthetic
+  wire-scan forward model that replaces the unavailable beamline data
+  (``repro.geometry``, ``repro.crystallography``, ``repro.synthetic``);
+* an HDF5-like container format and the file pipeline (``repro.io``);
+* a benchmark harness that regenerates the paper's figures
+  (``repro.perf`` + the ``benchmarks/`` directory).
+
+Quick start::
+
+    from repro.core import DepthGrid, DepthReconstructor
+    from repro.synthetic import make_grain_sample_stack
+
+    stack, source, sample = make_grain_sample_stack()
+    reconstructor = DepthReconstructor(grid=DepthGrid.from_range(0, 120, 60),
+                                       backend="gpusim")
+    result, report = reconstructor.reconstruct(stack)
+    print(report.summary())
+"""
+
+from repro import core, cudasim, geometry, io, synthetic, utils
+from repro.core import (
+    DepthGrid,
+    DepthReconstructor,
+    DepthResolvedStack,
+    ReconstructionConfig,
+    WireScanStack,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "cudasim",
+    "geometry",
+    "io",
+    "synthetic",
+    "utils",
+    "DepthGrid",
+    "DepthReconstructor",
+    "DepthResolvedStack",
+    "ReconstructionConfig",
+    "WireScanStack",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Command-line entry points.
+
+Three small tools mirror the original workflow:
+
+``repro-generate``
+    Produce a synthetic wire-scan data set (h5lite file) with known ground
+    truth — the stand-in for acquiring data at the beamline.
+``repro-reconstruct``
+    Run the depth reconstruction on a wire-scan file and write the
+    depth-resolved output (the original program's job).
+``repro-benchmark``
+    Run the paper's figure sweeps from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DifferenceMode, ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.core.pipeline import reconstruct_file
+from repro.geometry.wire import WireEdge
+from repro.utils.logging import configure as configure_logging
+
+__all__ = ["main_generate", "main_reconstruct", "main_benchmark"]
+
+
+# --------------------------------------------------------------------------- #
+def main_generate(argv: Optional[Sequence[str]] = None) -> int:
+    """Generate a synthetic wire-scan data set."""
+    parser = argparse.ArgumentParser(
+        prog="repro-generate", description="Generate a synthetic wire-scan data set (h5lite)."
+    )
+    parser.add_argument("output", help="output .h5lite file path")
+    parser.add_argument("--kind", choices=["grains", "benchmark"], default="grains")
+    parser.add_argument("--material", default="Cu")
+    parser.add_argument("--grains", type=int, default=3)
+    parser.add_argument("--rows", type=int, default=32)
+    parser.add_argument("--cols", type=int, default=32)
+    parser.add_argument("--positions", type=int, default=101)
+    parser.add_argument("--size-label", default="2.1G", help="paper size label for --kind benchmark")
+    parser.add_argument("--pixel-fraction", type=float, default=1.0)
+    parser.add_argument("--noise", action="store_true")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.io.image_stack import save_wire_scan
+    from repro.synthetic.workloads import make_benchmark_workload, make_grain_sample_stack
+
+    if args.kind == "grains":
+        stack, _source, sample = make_grain_sample_stack(
+            material=args.material,
+            n_grains=args.grains,
+            n_rows=args.rows,
+            n_cols=args.cols,
+            n_positions=args.positions,
+            seed=args.seed,
+            noise=args.noise,
+        )
+        boundaries = ", ".join(f"{b:.1f}" for b in sample.true_grain_boundaries())
+        print(f"generated grain sample stack {stack.shape}; grain boundaries at {boundaries} um")
+    else:
+        workload = make_benchmark_workload(
+            args.size_label, pixel_fraction=args.pixel_fraction, noise=args.noise, seed=args.seed
+        )
+        stack = workload.stack
+        print(workload.describe())
+
+    save_wire_scan(args.output, stack)
+    print(f"wrote {args.output} ({stack.nbytes / 1e6:.2f} MB of image data)")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main_reconstruct(argv: Optional[Sequence[str]] = None) -> int:
+    """Reconstruct a wire-scan file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-reconstruct", description="Depth-reconstruct a wire-scan h5lite file."
+    )
+    parser.add_argument("input", help="input wire-scan .h5lite file")
+    parser.add_argument("-o", "--output", help="output depth-resolved .h5lite file")
+    parser.add_argument("--text", help="optional text output of depth profiles")
+    parser.add_argument("--depth-start", type=float, default=0.0)
+    parser.add_argument("--depth-stop", type=float, default=100.0)
+    parser.add_argument("--depth-bins", type=int, default=50)
+    parser.add_argument("--backend", default="vectorized",
+                        choices=["cpu_reference", "vectorized", "gpusim", "multiprocess"])
+    parser.add_argument("--layout", default="flat1d", choices=["flat1d", "pointer3d"])
+    parser.add_argument("--rows-per-chunk", type=int, default=None)
+    parser.add_argument("--edge", default="leading", choices=["leading", "trailing"])
+    parser.add_argument("--difference-mode", default="signed", choices=["signed", "rectified"])
+    parser.add_argument("--cutoff", type=float, default=0.0)
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    config = ReconstructionConfig(
+        grid=DepthGrid.from_range(args.depth_start, args.depth_stop, args.depth_bins),
+        backend=args.backend,
+        layout=args.layout,
+        rows_per_chunk=args.rows_per_chunk,
+        wire_edge=WireEdge.LEADING if args.edge == "leading" else WireEdge.TRAILING,
+        difference_mode=DifferenceMode(args.difference_mode),
+        intensity_cutoff=args.cutoff,
+    )
+    outcome = reconstruct_file(args.input, config, output_path=args.output, text_path=args.text)
+    print(outcome.report.summary())
+    integrated = outcome.result.integrated_profile()
+    peak_bin = int(np.argmax(integrated))
+    print(
+        f"integrated depth profile peaks at {outcome.result.grid.index_to_depth(peak_bin):.2f} um "
+        f"({integrated[peak_bin]:.3g} intensity)"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main_benchmark(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the paper's figure sweeps."""
+    parser = argparse.ArgumentParser(
+        prog="repro-benchmark", description="Run the paper-figure benchmark sweeps."
+    )
+    parser.add_argument(
+        "figure", choices=["fig4", "fig8", "fig9", "headline"], help="which paper artifact to regenerate"
+    )
+    parser.add_argument("--scale", type=float, default=None, help="byte-scale factor relative to the paper sizes")
+    parser.add_argument("--repeats", type=int, default=1)
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.perf.reporting import format_figure_report
+    from repro.perf.metrics import summarize_ratio_range
+    from repro.perf.sweep import run_backend_sweep
+    from repro.synthetic.workloads import DEFAULT_BENCH_SCALE, make_benchmark_workload
+
+    scale = args.scale if args.scale is not None else DEFAULT_BENCH_SCALE
+
+    if args.figure == "fig4":
+        workload = make_benchmark_workload("5.2G", scale=scale)
+        records = []
+        for fraction in (0.25, 0.5, 1.0):
+            w = make_benchmark_workload("5.2G", pixel_fraction=fraction, scale=scale)
+            w.label = f"{int(fraction * 100)}%"
+            for layout in ("pointer3d", "flat1d"):
+                recs = run_backend_sweep([w], ["gpusim"], config_overrides={"gpusim": {"layout": layout}},
+                                         repeats=args.repeats)
+                for r in recs:
+                    r.backend = layout
+                records.extend(recs)
+        print(format_figure_report("Fig. 4: 1-D vs 3-D array layout (GPU-sim)", records,
+                                   x_key="workload", variant_key="backend"))
+        return 0
+
+    if args.figure in ("fig8", "headline"):
+        workloads = [make_benchmark_workload(label, scale=scale) for label in ("2.1G", "2.7G", "3.6G", "5.2G")]
+        records = run_backend_sweep(workloads, ["cpu_reference", "gpusim"], repeats=args.repeats)
+        print(format_figure_report("Fig. 8: CPU vs GPU across data-set sizes", records))
+        if args.figure == "headline":
+            by_workload = {}
+            for r in records:
+                by_workload.setdefault(r.workload, {})[r.backend] = r.wall_time
+            pairs = [(v["gpusim"], v["cpu_reference"]) for v in by_workload.values()]
+            summary = summarize_ratio_range(pairs)
+            print(
+                f"GPU/CPU time ratio: min {summary['min']:.2f}, max {summary['max']:.2f} "
+                f"(paper reports 0.25-0.30)"
+            )
+        return 0
+
+    # fig9
+    workloads = []
+    for fraction in (0.25, 0.5, 1.0):
+        w = make_benchmark_workload("5.2G", pixel_fraction=fraction, scale=scale)
+        w.label = f"{int(fraction * 100)}%"
+        workloads.append(w)
+    records = run_backend_sweep(workloads, ["cpu_reference", "gpusim"], repeats=args.repeats)
+    print(format_figure_report("Fig. 9: CPU vs GPU across pixel percentages", records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_reconstruct())

@@ -1,0 +1,66 @@
+"""Core depth-reconstruction library (the paper's primary contribution).
+
+The public entry point is :class:`~repro.core.reconstruction.DepthReconstructor`
+(configured by :class:`~repro.core.config.ReconstructionConfig`), which turns a
+:class:`~repro.core.stack.WireScanStack` of detector images into a
+:class:`~repro.core.result.DepthResolvedStack`.  The lower-level pieces —
+depth mapping, trapezoid response, histogram accumulation, array layouts,
+row-chunk planning and the execution backends — are exposed for tests,
+benchmarks and users who want to compose them differently.
+"""
+
+from repro.core.depth_grid import DepthGrid
+from repro.core.stack import WireScanStack
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.config import ReconstructionConfig, DifferenceMode
+from repro.core.depth_mapping import (
+    pixel_yz_to_depth,
+    pixel_xyz_to_depth,
+    index_to_beam_depth,
+    depth_to_index,
+)
+from repro.core.trapezoid import (
+    trapezoid_from_depths,
+    trapezoid_height,
+    trapezoid_area,
+    trapezoid_bin_overlaps,
+)
+from repro.core.layouts import Flat1DLayout, Pointer3DLayout, get_layout
+from repro.core.chunking import ChunkPlan, plan_row_chunks
+from repro.core.histogram import DepthHistogram
+from repro.core.reconstruction import DepthReconstructor
+from repro.core.backends import available_backends, get_backend
+from repro.core.analysis import (
+    find_profile_peaks,
+    detect_grain_boundaries,
+    depth_resolution_estimate,
+)
+
+__all__ = [
+    "DepthGrid",
+    "WireScanStack",
+    "DepthResolvedStack",
+    "ReconstructionReport",
+    "ReconstructionConfig",
+    "DifferenceMode",
+    "pixel_yz_to_depth",
+    "pixel_xyz_to_depth",
+    "index_to_beam_depth",
+    "depth_to_index",
+    "trapezoid_from_depths",
+    "trapezoid_height",
+    "trapezoid_area",
+    "trapezoid_bin_overlaps",
+    "Flat1DLayout",
+    "Pointer3DLayout",
+    "get_layout",
+    "ChunkPlan",
+    "plan_row_chunks",
+    "DepthHistogram",
+    "DepthReconstructor",
+    "available_backends",
+    "get_backend",
+    "find_profile_peaks",
+    "detect_grain_boundaries",
+    "depth_resolution_estimate",
+]

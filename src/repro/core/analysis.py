@@ -1,0 +1,174 @@
+"""Post-reconstruction analysis of depth-resolved stacks.
+
+The depth-resolved stack is rarely the end product: the 34-ID analyses derive
+grain boundaries, layer thicknesses and depth-resolution figures of merit
+from the per-pixel depth profiles.  This module provides those small,
+well-tested building blocks so that the examples and downstream users do not
+have to re-implement them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.depth_grid import DepthGrid
+from repro.core.result import DepthResolvedStack
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "ProfilePeak",
+    "find_profile_peaks",
+    "profile_fwhm",
+    "detect_grain_boundaries",
+    "depth_resolution_estimate",
+]
+
+
+@dataclass(frozen=True)
+class ProfilePeak:
+    """One peak found in a depth profile."""
+
+    depth: float
+    height: float
+    bin_index: int
+    fwhm: Optional[float] = None
+
+
+def find_profile_peaks(
+    profile: np.ndarray,
+    grid: DepthGrid,
+    min_relative_height: float = 0.1,
+    min_separation_bins: int = 2,
+) -> List[ProfilePeak]:
+    """Find local maxima of a depth profile.
+
+    Parameters
+    ----------
+    profile:
+        Intensity per depth bin, shape ``(grid.n_bins,)``.
+    grid:
+        The depth grid the profile is defined on.
+    min_relative_height:
+        Peaks lower than this fraction of the global maximum are ignored.
+    min_separation_bins:
+        Smaller peaks closer than this to an accepted peak are suppressed.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.shape != (grid.n_bins,):
+        raise ValidationError(f"profile must have shape ({grid.n_bins},), got {profile.shape}")
+    if profile.size < 3 or profile.max() <= 0:
+        return []
+    threshold = min_relative_height * profile.max()
+
+    candidates = []
+    for k in range(profile.size):
+        left = profile[k - 1] if k > 0 else -np.inf
+        right = profile[k + 1] if k < profile.size - 1 else -np.inf
+        if profile[k] >= threshold and profile[k] >= left and profile[k] > right:
+            candidates.append(k)
+
+    # non-maximum suppression by separation
+    accepted: List[int] = []
+    for k in sorted(candidates, key=lambda i: -profile[i]):
+        if all(abs(k - other) >= min_separation_bins for other in accepted):
+            accepted.append(k)
+
+    peaks = [
+        ProfilePeak(
+            depth=float(grid.index_to_depth(k)),
+            height=float(profile[k]),
+            bin_index=int(k),
+            fwhm=profile_fwhm(profile, grid, k),
+        )
+        for k in sorted(accepted)
+    ]
+    return peaks
+
+
+def profile_fwhm(profile: np.ndarray, grid: DepthGrid, peak_index: int) -> Optional[float]:
+    """Full width at half maximum of the peak at *peak_index* (linear interpolation).
+
+    Returns ``None`` when either half-maximum crossing lies outside the grid.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if not (0 <= peak_index < profile.size):
+        raise ValidationError("peak_index out of range")
+    half = profile[peak_index] / 2.0
+    if half <= 0:
+        return None
+
+    left = None
+    for k in range(peak_index, 0, -1):
+        if profile[k - 1] <= half <= profile[k]:
+            frac = (profile[k] - half) / max(profile[k] - profile[k - 1], 1e-300)
+            left = grid.index_to_depth(k) - frac * grid.step
+            break
+    right = None
+    for k in range(peak_index, profile.size - 1):
+        if profile[k + 1] <= half <= profile[k]:
+            frac = (profile[k] - half) / max(profile[k] - profile[k + 1], 1e-300)
+            right = grid.index_to_depth(k) + frac * grid.step
+            break
+    if left is None or right is None:
+        return None
+    return float(right - left)
+
+
+def detect_grain_boundaries(
+    result: DepthResolvedStack,
+    min_relative_change: float = 0.2,
+    smooth_bins: int = 3,
+) -> np.ndarray:
+    """Estimate grain-boundary depths from the integrated depth profile.
+
+    A boundary shows up as a local extremum of the derivative of the
+    (smoothed) integrated profile — intensity shifts from one grain's spots to
+    the next as the depth crosses the boundary.  Returns the estimated
+    boundary depths (possibly empty).
+    """
+    profile = result.integrated_profile()
+    grid = result.grid
+    if smooth_bins > 1:
+        kernel = np.ones(smooth_bins) / smooth_bins
+        profile = np.convolve(profile, kernel, mode="same")
+    derivative = np.gradient(profile, grid.step)
+    if np.all(derivative == 0):
+        return np.array([])
+    threshold = min_relative_change * np.max(np.abs(derivative))
+
+    boundaries = []
+    for k in range(1, grid.n_bins - 1):
+        is_extremum = (
+            abs(derivative[k]) >= threshold
+            and abs(derivative[k]) >= abs(derivative[k - 1])
+            and abs(derivative[k]) > abs(derivative[k + 1])
+        )
+        if is_extremum:
+            boundaries.append(float(grid.index_to_depth(k)))
+    return np.asarray(boundaries)
+
+
+def depth_resolution_estimate(result: DepthResolvedStack, min_signal_fraction: float = 0.1) -> float:
+    """Median FWHM of the per-pixel depth profiles (a depth-resolution figure of merit).
+
+    Only pixels carrying at least *min_signal_fraction* of the brightest
+    pixel's signal are considered; raises if no pixel qualifies or no FWHM is
+    measurable.
+    """
+    totals = result.data.sum(axis=0)
+    if totals.max() <= 0:
+        raise ValidationError("the depth-resolved stack contains no signal")
+    bright_rows, bright_cols = np.nonzero(totals >= min_signal_fraction * totals.max())
+    widths = []
+    for row, col in zip(bright_rows, bright_cols):
+        profile = result.depth_profile(row, col)
+        peak = int(np.argmax(profile))
+        fwhm = profile_fwhm(profile, result.grid, peak)
+        if fwhm is not None:
+            widths.append(fwhm)
+    if not widths:
+        raise ValidationError("no pixel produced a measurable depth-profile width")
+    return float(np.median(widths))

@@ -1,0 +1,33 @@
+"""Execution backends for the depth reconstruction.
+
+Four backends implement the same reconstruction with different execution
+strategies:
+
+* ``cpu_reference`` — the scalar per-element loop (the paper's original CPU
+  program);
+* ``vectorized`` — NumPy data-parallel execution on the host;
+* ``gpusim`` — the CUDA-style design of the paper on the simulated device:
+  row-chunk streaming, explicit host↔device transfers, grid/block kernel
+  launches and atomic accumulation;
+* ``multiprocess`` — detector rows partitioned across a process pool.
+
+All backends must produce numerically identical results (the test-suite
+cross-checks them); only their performance characteristics differ.
+"""
+
+from repro.core.backends.base import Backend, available_backends, get_backend, register_backend
+from repro.core.backends.cpu_reference import CpuReferenceBackend
+from repro.core.backends.vectorized import VectorizedBackend
+from repro.core.backends.gpusim import GpuSimBackend
+from repro.core.backends.multiprocess import MultiprocessBackend
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "CpuReferenceBackend",
+    "VectorizedBackend",
+    "GpuSimBackend",
+    "MultiprocessBackend",
+]

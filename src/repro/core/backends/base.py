@@ -1,0 +1,108 @@
+"""Backend interface and registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.core.config import ReconstructionConfig
+from repro.core.kernels import KernelContext
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.stack import WireScanStack
+from repro.utils.validation import ValidationError
+
+__all__ = ["Backend", "register_backend", "get_backend", "available_backends", "build_kernel_context"]
+
+_REGISTRY: Dict[str, Type["Backend"]] = {}
+
+
+def register_backend(cls: Type["Backend"]) -> Type["Backend"]:
+    """Class decorator adding a backend to the registry under its ``name``."""
+    if not getattr(cls, "name", None):
+        raise ValidationError("backend classes must define a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> "Backend":
+    """Instantiate a backend by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def build_kernel_context(
+    stack: WireScanStack,
+    config: ReconstructionConfig,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+) -> KernelContext:
+    """Assemble the kernel inputs for detector rows ``row_start:row_stop``.
+
+    This is the host-side preparation the original program performs before
+    each kernel launch: slice the image cube, look up the pixel-edge
+    coordinates of the selected rows, and collect the wire positions.
+    """
+    row_stop = stack.n_rows if row_stop is None else row_stop
+    if not (0 <= row_start < row_stop <= stack.n_rows):
+        raise ValidationError(f"invalid row range [{row_start}, {row_stop})")
+    rows = np.arange(row_start, row_stop)
+    back_edges, front_edges = stack.detector.row_edges_yz(rows)
+    images = stack.images[:, row_start:row_stop, :]
+    if config.subtract_background:
+        background = np.median(images, axis=(1, 2), keepdims=True)
+        images = images - background
+    mask = None
+    if stack.pixel_mask is not None:
+        mask = stack.pixel_mask[row_start:row_stop, :]
+    return KernelContext(
+        images=images,
+        back_edge_yz=back_edges,
+        front_edge_yz=front_edges,
+        wire_positions_yz=stack.scan.positions,
+        wire_radius=stack.scan.wire.radius,
+        grid=config.grid,
+        wire_edge=config.wire_edge,
+        difference_mode=config.difference_mode,
+        intensity_cutoff=config.intensity_cutoff,
+        mask=mask,
+    )
+
+
+class Backend(abc.ABC):
+    """Abstract reconstruction backend."""
+
+    #: registry name; subclasses must override
+    name: str = ""
+
+    @abc.abstractmethod
+    def reconstruct(
+        self, stack: WireScanStack, config: ReconstructionConfig
+    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
+        """Reconstruct *stack* according to *config*.
+
+        Returns the depth-resolved stack and a timing/accounting report.
+        """
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def count_active_elements(stack: WireScanStack, config: ReconstructionConfig) -> int:
+        """Number of (pixel, step) elements that pass the mask and cutoff."""
+        diffs = stack.differences()
+        active = np.abs(diffs) > config.intensity_cutoff
+        if stack.pixel_mask is not None:
+            active &= stack.pixel_mask[None, :, :]
+        return int(np.count_nonzero(active))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

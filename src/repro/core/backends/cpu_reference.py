@@ -1,0 +1,55 @@
+"""The scalar CPU reference backend (the paper's baseline).
+
+Processes one (column, row, wire-step) element at a time with scalar
+arithmetic, exactly as the original single-threaded CPU program does.  It is
+deliberately not vectorised: it is the baseline every speed-up in the paper
+(and in our benchmarks) is measured against, and it doubles as the ground
+truth the faster backends are validated against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.backends.base import Backend, build_kernel_context, register_backend
+from repro.core.config import ReconstructionConfig
+from repro.core.histogram import DepthHistogram
+from repro.core.kernels import depth_resolve_chunk_scalar
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.stack import WireScanStack
+
+__all__ = ["CpuReferenceBackend"]
+
+
+@register_backend
+class CpuReferenceBackend(Backend):
+    """Scalar per-element reconstruction on the host CPU."""
+
+    name = "cpu_reference"
+
+    def reconstruct(
+        self, stack: WireScanStack, config: ReconstructionConfig
+    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
+        start = time.perf_counter()
+        ctx = build_kernel_context(stack, config)
+        histogram = DepthHistogram(config.grid, stack.n_rows, stack.n_cols)
+        depth_resolve_chunk_scalar(ctx, histogram.data)
+        wall = time.perf_counter() - start
+
+        report = ReconstructionReport(
+            backend=self.name,
+            wall_time=wall,
+            compute_time=wall,
+            n_chunks=1,
+            n_kernel_launches=0,
+            n_threads_launched=0,
+            n_active_pixels=self.count_active_elements(stack, config),
+            n_steps=stack.n_steps,
+            layout=None,
+            notes=["scalar per-element loop (original CPU program)"],
+        )
+        result = histogram.to_result(metadata={**stack.metadata, "backend": self.name})
+        return result, report

@@ -1,0 +1,177 @@
+"""Row-chunk streaming planner.
+
+The paper's data sets (2.1–5.2 GB) do not fit in the Tesla M2070's 6 GB
+device memory together with the temporaries, so the image cube is streamed
+to the device a few detector rows at a time (Fig. 2: "each time only
+processing 2 rows"), and the per-chunk results are stitched back together on
+the host.
+
+``plan_row_chunks`` chooses the chunk size: either the caller fixes
+``rows_per_chunk`` (as the original program does) or the planner picks the
+largest number of rows whose device working set — input cube slab, output
+histogram slab, geometry tables and layout overhead — fits in the available
+device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.layouts import get_layout
+from repro.utils.validation import ValidationError
+
+__all__ = ["ChunkPlan", "plan_row_chunks", "estimate_chunk_device_bytes"]
+
+_FLOAT_BYTES = 8
+
+
+def estimate_chunk_device_bytes(
+    rows: int,
+    n_cols: int,
+    n_positions: int,
+    n_depth_bins: int,
+    layout: str = "flat1d",
+) -> int:
+    """Device bytes needed to process *rows* detector rows in one chunk.
+
+    Working set per chunk:
+
+    * the input image slab ``n_positions × rows × n_cols`` (uploaded with the
+      selected layout, which may add pointer-table overhead);
+    * the depth-resolved output slab ``n_depth_bins × rows × n_cols``
+      (allocated flat regardless of the input layout, as in the original);
+    * the wire-position table and per-row pixel-edge tables (small).
+    """
+    if rows < 1:
+        raise ValidationError("rows must be >= 1")
+    layout_obj = get_layout(layout)
+    input_bytes = layout_obj.device_bytes_for((n_positions, rows, n_cols), _FLOAT_BYTES)
+    output_bytes = n_depth_bins * rows * n_cols * _FLOAT_BYTES
+    wire_table = (n_positions) * 2 * _FLOAT_BYTES
+    edge_tables = rows * 4 * _FLOAT_BYTES
+    return int(input_bytes + output_bytes + wire_table + edge_tables)
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """A row-streaming plan."""
+
+    n_rows: int
+    rows_per_chunk: int
+    chunks: Tuple[Tuple[int, int], ...]
+    bytes_per_chunk: int
+    device_memory_bytes: int
+    layout: str = "flat1d"
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of row chunks."""
+        return len(self.chunks)
+
+    def covers_all_rows(self) -> bool:
+        """True if the chunks tile ``[0, n_rows)`` exactly, in order, no overlap."""
+        expected = 0
+        for start, stop in self.chunks:
+            if start != expected or stop <= start:
+                return False
+            expected = stop
+        return expected == self.n_rows
+
+    def summary(self) -> str:
+        """One-line description of the plan."""
+        return (
+            f"{self.n_chunks} chunk(s) of up to {self.rows_per_chunk} row(s), "
+            f"{self.bytes_per_chunk} device bytes per chunk "
+            f"(limit {self.device_memory_bytes}), layout={self.layout}"
+        )
+
+
+def plan_row_chunks(
+    n_rows: int,
+    n_cols: int,
+    n_positions: int,
+    n_depth_bins: int,
+    device_memory_bytes: int,
+    layout: str = "flat1d",
+    rows_per_chunk: Optional[int] = None,
+    memory_safety_fraction: float = 0.9,
+) -> ChunkPlan:
+    """Build a :class:`ChunkPlan` for streaming the cube through the device.
+
+    Parameters
+    ----------
+    n_rows, n_cols, n_positions, n_depth_bins:
+        Problem dimensions.
+    device_memory_bytes:
+        Usable device memory.
+    layout:
+        Device array layout name (affects the per-chunk footprint).
+    rows_per_chunk:
+        Fixed chunk size; when ``None`` the planner picks the largest size
+        that fits within ``memory_safety_fraction`` of device memory.
+    memory_safety_fraction:
+        Fraction of device memory the working set may occupy (head-room for
+        kernel scratch space, as on a real card).
+
+    Raises
+    ------
+    ValidationError
+        If even a single row does not fit in device memory, or a requested
+        fixed chunk size does not fit.
+    """
+    if n_rows < 1 or n_cols < 1 or n_positions < 2 or n_depth_bins < 1:
+        raise ValidationError("invalid problem dimensions for chunk planning")
+    if device_memory_bytes < 1:
+        raise ValidationError("device_memory_bytes must be positive")
+    if not (0.0 < memory_safety_fraction <= 1.0):
+        raise ValidationError("memory_safety_fraction must lie in (0, 1]")
+
+    budget = int(device_memory_bytes * memory_safety_fraction)
+    notes: List[str] = []
+
+    def fits(rows: int) -> bool:
+        return estimate_chunk_device_bytes(rows, n_cols, n_positions, n_depth_bins, layout) <= budget
+
+    if not fits(1):
+        raise ValidationError(
+            "a single detector row does not fit in device memory "
+            f"({estimate_chunk_device_bytes(1, n_cols, n_positions, n_depth_bins, layout)} bytes "
+            f"needed, {budget} available)"
+        )
+
+    if rows_per_chunk is not None:
+        rows_per_chunk = int(rows_per_chunk)
+        if rows_per_chunk < 1:
+            raise ValidationError("rows_per_chunk must be >= 1")
+        if not fits(min(rows_per_chunk, n_rows)):
+            raise ValidationError(
+                f"requested rows_per_chunk={rows_per_chunk} does not fit in device memory"
+            )
+        chosen = min(rows_per_chunk, n_rows)
+        notes.append("rows_per_chunk fixed by caller")
+    else:
+        # binary search for the largest chunk that fits
+        lo, hi = 1, n_rows
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if fits(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        chosen = lo
+        notes.append("rows_per_chunk chosen by memory fit")
+
+    chunks = tuple(
+        (start, min(start + chosen, n_rows)) for start in range(0, n_rows, chosen)
+    )
+    return ChunkPlan(
+        n_rows=n_rows,
+        rows_per_chunk=chosen,
+        chunks=chunks,
+        bytes_per_chunk=estimate_chunk_device_bytes(chosen, n_cols, n_positions, n_depth_bins, layout),
+        device_memory_bytes=int(device_memory_bytes),
+        layout=layout,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,106 @@
+"""Reconstruction configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.depth_grid import DepthGrid
+from repro.geometry.wire import WireEdge
+from repro.utils.validation import ValidationError, ensure_non_negative
+
+__all__ = ["DifferenceMode", "ReconstructionConfig"]
+
+
+class DifferenceMode(enum.Enum):
+    """How adjacent-image differences are turned into depth contributions.
+
+    ``SIGNED``
+        Use the raw difference ``I[i] - I[i+1]`` (paper-faithful).  Correct
+        when the scan geometry is such that only the selected wire edge
+        crosses a pixel's line of sight during the scan.
+    ``RECTIFIED``
+        Clamp the difference at zero (occlusion events only for the leading
+        edge, release events only for the trailing edge).  Robust when both
+        edges cross during the scan, at the price of discarding half of the
+        counting statistics.
+    """
+
+    SIGNED = "signed"
+    RECTIFIED = "rectified"
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Parameters of a depth reconstruction run.
+
+    Parameters
+    ----------
+    grid:
+        Depth grid to reconstruct onto.
+    wire_edge:
+        Which wire edge the analysis uses (leading by default).
+    difference_mode:
+        See :class:`DifferenceMode`.
+    intensity_cutoff:
+        Differences with ``|dI|`` below this value are skipped (the
+        ``d_cutoff`` parameter of the paper's kernel); pixels whose every
+        step falls below the cutoff cost no reconstruction work, which is
+        what the paper's "pixel percentage" experiments vary.
+    backend:
+        Execution backend name (``cpu_reference``, ``vectorized``,
+        ``gpusim``, ``multiprocess``).
+    layout:
+        Device array layout for the gpusim backend (``flat1d`` or
+        ``pointer3d``) — the Fig. 4 design choice.
+    rows_per_chunk:
+        Number of detector rows streamed to the device per chunk.  ``None``
+        lets the chunk planner pick the largest chunk that fits device
+        memory (the paper uses a fixed small number of rows).
+    device_memory_limit:
+        Optional override (bytes) of the simulated device memory, used to
+        scale the 6 GB constraint down to laptop-sized problems.
+    n_workers:
+        Worker count for the multiprocess backend.
+    subtract_background:
+        If true, a constant background (median of each difference image) is
+        subtracted before distribution.
+    """
+
+    grid: DepthGrid
+    wire_edge: WireEdge = WireEdge.LEADING
+    difference_mode: DifferenceMode = DifferenceMode.SIGNED
+    intensity_cutoff: float = 0.0
+    backend: str = "vectorized"
+    layout: str = "flat1d"
+    rows_per_chunk: Optional[int] = None
+    device_memory_limit: Optional[int] = None
+    n_workers: int = 2
+    subtract_background: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.grid, DepthGrid):
+            raise ValidationError("grid must be a DepthGrid instance")
+        if not isinstance(self.wire_edge, WireEdge):
+            raise ValidationError("wire_edge must be a WireEdge")
+        if not isinstance(self.difference_mode, DifferenceMode):
+            raise ValidationError("difference_mode must be a DifferenceMode")
+        ensure_non_negative(self.intensity_cutoff, "intensity_cutoff")
+        if self.layout not in ("flat1d", "pointer3d"):
+            raise ValidationError(f"layout must be 'flat1d' or 'pointer3d', got {self.layout!r}")
+        if self.rows_per_chunk is not None and int(self.rows_per_chunk) < 1:
+            raise ValidationError("rows_per_chunk must be >= 1 when given")
+        if self.device_memory_limit is not None and int(self.device_memory_limit) < 1:
+            raise ValidationError("device_memory_limit must be positive when given")
+        if int(self.n_workers) < 1:
+            raise ValidationError("n_workers must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    def with_backend(self, backend: str, **overrides) -> "ReconstructionConfig":
+        """Return a copy of this config with a different backend (and overrides)."""
+        return replace(self, backend=backend, **overrides)
+
+    def with_overrides(self, **overrides) -> "ReconstructionConfig":
+        """Return a copy with arbitrary fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,90 @@
+"""File-to-file reconstruction pipeline.
+
+Mirrors the structure of the original program: everything except the
+per-pixel reconstruction stays on the host — reading the wire-scan images
+from the (h5lite) container, writing the depth-resolved result back to a
+container file and, optionally, per-pixel depth profiles to a text file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import ReconstructionConfig
+from repro.core.reconstruction import DepthReconstructor
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.utils.logging import get_logger
+
+__all__ = ["PipelineResult", "reconstruct_file"]
+
+_LOG = get_logger(__name__)
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    result: DepthResolvedStack
+    report: ReconstructionReport
+    input_path: str
+    output_path: Optional[str]
+    text_path: Optional[str]
+
+
+def reconstruct_file(
+    input_path: str,
+    config: ReconstructionConfig,
+    output_path: Optional[str] = None,
+    text_path: Optional[str] = None,
+    text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
+) -> PipelineResult:
+    """Read a wire-scan file, reconstruct it and write the outputs.
+
+    Parameters
+    ----------
+    input_path:
+        h5lite file produced by :func:`repro.io.save_wire_scan` (or the
+        synthetic workload generator).
+    config:
+        Reconstruction configuration.
+    output_path:
+        Optional h5lite output path for the depth-resolved stack.
+    text_path:
+        Optional text output path; when given, the depth profiles of
+        *text_pixels* (default: the brightest pixel) are written in the
+        column format of the original program.
+    text_pixels:
+        Pixels whose profiles go into the text file.
+    """
+    # imported lazily to keep repro.core importable without repro.io and to
+    # avoid an import cycle (repro.io depends on the core data model)
+    from repro.io.image_stack import load_wire_scan, save_depth_resolved
+    from repro.io.text_output import write_depth_profiles
+
+    stack = load_wire_scan(input_path)
+    _LOG.info("loaded %s: %s images of %sx%s pixels", input_path, *stack.shape)
+
+    reconstructor = DepthReconstructor(config=config)
+    result, report = reconstructor.reconstruct(stack)
+
+    if output_path is not None:
+        save_depth_resolved(output_path, result)
+        _LOG.info("wrote depth-resolved stack to %s", output_path)
+
+    if text_path is not None:
+        if text_pixels is None:
+            # default: the pixel with the largest integrated signal
+            totals = result.data.sum(axis=0)
+            row, col = divmod(int(totals.argmax()), result.n_cols)
+            text_pixels = [(row, col)]
+        write_depth_profiles(text_path, result, text_pixels)
+        _LOG.info("wrote %d depth profile(s) to %s", len(list(text_pixels)), text_path)
+
+    return PipelineResult(
+        result=result,
+        report=report,
+        input_path=str(input_path),
+        output_path=None if output_path is None else str(output_path),
+        text_path=None if text_path is None else str(text_path),
+    )

@@ -1,0 +1,110 @@
+"""High-level reconstruction API.
+
+``DepthReconstructor`` is the public entry point: configure it once (depth
+grid, wire edge, backend, device constraints) and call
+:meth:`DepthReconstructor.reconstruct` on any :class:`WireScanStack`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.backends import get_backend
+from repro.core.config import ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.stack import WireScanStack
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+__all__ = ["DepthReconstructor"]
+
+_LOG = get_logger(__name__)
+
+
+class DepthReconstructor:
+    """Reconstructs depth-resolved intensity from wire-scan image stacks.
+
+    Parameters
+    ----------
+    config:
+        Full reconstruction configuration.  Alternatively pass ``grid`` and
+        keyword overrides and a default configuration is built.
+    grid:
+        Depth grid (required when *config* is not given).
+    **overrides:
+        Any :class:`~repro.core.config.ReconstructionConfig` field, applied on
+        top of the defaults when *config* is not given.
+
+    Examples
+    --------
+    >>> from repro.core import DepthGrid, DepthReconstructor
+    >>> grid = DepthGrid.from_range(0.0, 100.0, 50)
+    >>> reconstructor = DepthReconstructor(grid=grid, backend="vectorized")
+    >>> # result, report = reconstructor.reconstruct(stack)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ReconstructionConfig] = None,
+        grid: Optional[DepthGrid] = None,
+        **overrides,
+    ):
+        if config is None:
+            if grid is None:
+                raise ValidationError("either a ReconstructionConfig or a DepthGrid must be provided")
+            config = ReconstructionConfig(grid=grid, **overrides)
+        elif overrides or grid is not None:
+            raise ValidationError("pass either a full config or grid+overrides, not both")
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> DepthGrid:
+        """The depth grid of this reconstructor."""
+        return self.config.grid
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the configured backend."""
+        return self.config.backend
+
+    def with_backend(self, backend: str, **overrides) -> "DepthReconstructor":
+        """A copy of this reconstructor using a different backend."""
+        return DepthReconstructor(config=self.config.with_backend(backend, **overrides))
+
+    # ------------------------------------------------------------------ #
+    def reconstruct(
+        self, stack: WireScanStack, return_report: bool = True
+    ) -> Tuple[DepthResolvedStack, ReconstructionReport] | DepthResolvedStack:
+        """Run the reconstruction.
+
+        Parameters
+        ----------
+        stack:
+            The wire-scan image stack.
+        return_report:
+            When true (default) return ``(result, report)``; otherwise return
+            only the result.
+        """
+        backend = get_backend(self.config.backend)
+        _LOG.debug(
+            "reconstructing %s stack with backend %s", stack.shape, self.config.backend
+        )
+        result, report = backend.reconstruct(stack, self.config)
+        _LOG.debug("reconstruction finished: %s", report.summary().replace("\n", " | "))
+        if return_report:
+            return result, report
+        return result
+
+    def compare_backends(self, stack: WireScanStack, backends) -> dict:
+        """Run several backends on the same stack and collect their reports.
+
+        Returns a mapping ``backend name -> (result, report)``; useful for
+        correctness cross-checks and for the benchmark harness.
+        """
+        out = {}
+        for name in backends:
+            backend = get_backend(name)
+            out[name] = backend.reconstruct(stack, self.config.with_backend(name))
+        return out

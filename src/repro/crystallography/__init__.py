@@ -1,0 +1,28 @@
+"""Minimal crystallography for synthesising Laue diffraction patterns.
+
+The depth reconstruction itself is agnostic to what produced the detector
+images, but the paper's data are polychromatic Laue diffraction patterns of
+crystalline samples.  This subpackage provides just enough crystallography —
+lattices, orientations, structure-factor extinction rules and polychromatic
+Laue spot prediction — for the synthetic forward model to place physically
+plausible diffraction spots on the detector, so that the benchmark data sets
+have realistic sparsity and intensity structure.
+"""
+
+from repro.crystallography.lattice import Lattice
+from repro.crystallography.materials import MATERIALS, Material, get_material
+from repro.crystallography.orientation import Orientation
+from repro.crystallography.structure_factor import structure_factor_magnitude, is_reflection_allowed
+from repro.crystallography.laue import LaueSpot, predict_laue_spots
+
+__all__ = [
+    "Lattice",
+    "Material",
+    "MATERIALS",
+    "get_material",
+    "Orientation",
+    "structure_factor_magnitude",
+    "is_reflection_allowed",
+    "LaueSpot",
+    "predict_laue_spots",
+]

@@ -1,0 +1,51 @@
+"""A small library of reference materials.
+
+Copper is the headline material of the Laue microscopy papers (plastic
+deformation under micro-indents in Cu single crystals); silicon, tungsten
+and nickel are common calibration/engineering samples at 34-ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crystallography.lattice import Lattice
+from repro.utils.validation import ValidationError
+
+__all__ = ["Material", "MATERIALS", "get_material"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A named crystalline material."""
+
+    name: str
+    lattice: Lattice
+    atomic_number: int
+    density_g_cm3: float
+
+    @property
+    def centering(self) -> str:
+        """Lattice centering symbol (drives the extinction rules)."""
+        return self.lattice.centering
+
+
+MATERIALS: Dict[str, Material] = {
+    "Cu": Material(name="Cu", lattice=Lattice.cubic(3.6149, centering="F"), atomic_number=29, density_g_cm3=8.96),
+    "Ni": Material(name="Ni", lattice=Lattice.cubic(3.5240, centering="F"), atomic_number=28, density_g_cm3=8.91),
+    "Si": Material(name="Si", lattice=Lattice.cubic(5.4310, centering="diamond"), atomic_number=14, density_g_cm3=2.33),
+    "W": Material(name="W", lattice=Lattice.cubic(3.1652, centering="I"), atomic_number=74, density_g_cm3=19.25),
+    "Fe": Material(name="Fe", lattice=Lattice.cubic(2.8665, centering="I"), atomic_number=26, density_g_cm3=7.87),
+    "Al": Material(name="Al", lattice=Lattice.cubic(4.0495, centering="F"), atomic_number=13, density_g_cm3=2.70),
+}
+
+
+def get_material(name: str) -> Material:
+    """Look a material up by symbol (case-sensitive, e.g. ``"Cu"``)."""
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown material {name!r}; available: {sorted(MATERIALS)}"
+        ) from None

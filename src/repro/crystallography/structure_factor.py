@@ -1,0 +1,55 @@
+"""Structure-factor extinction rules and a crude magnitude model.
+
+Only the features that influence which Laue spots appear — centering
+extinctions and a smooth fall-off of scattering power with momentum
+transfer — are modelled; absolute intensities are arbitrary units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["is_reflection_allowed", "structure_factor_magnitude"]
+
+
+def is_reflection_allowed(hkl, centering: str = "P") -> np.ndarray:
+    """Centering extinction rules.
+
+    * ``P``: all reflections allowed;
+    * ``I``: h + k + l even;
+    * ``F``: h, k, l all even or all odd;
+    * ``diamond``: F rules, plus h + k + l ≠ 4n + 2.
+    """
+    hkl = np.atleast_2d(np.asarray(hkl, dtype=np.int64))
+    h, k, l = hkl[..., 0], hkl[..., 1], hkl[..., 2]
+    if centering == "P":
+        allowed = np.ones(h.shape, dtype=bool)
+    elif centering == "I":
+        allowed = (h + k + l) % 2 == 0
+    elif centering in ("F", "diamond"):
+        all_even = (h % 2 == 0) & (k % 2 == 0) & (l % 2 == 0)
+        all_odd = (h % 2 == 1) & (k % 2 == 1) & (l % 2 == 1)
+        allowed = all_even | all_odd
+        if centering == "diamond":
+            allowed &= ~(all_even & ((h + k + l) % 4 == 2))
+    else:
+        raise ValidationError(f"unsupported centering {centering!r}")
+    allowed &= ~((h == 0) & (k == 0) & (l == 0))
+    return allowed if np.asarray(hkl).ndim > 1 else bool(allowed[0])
+
+
+def structure_factor_magnitude(hkl, centering: str = "P", atomic_number: int = 29) -> np.ndarray:
+    """Relative |F| for the given reflections (arbitrary units).
+
+    A single-species approximation: |F| is proportional to the atomic number
+    times a Gaussian fall-off with ``|hkl|`` (standing in for the atomic form
+    factor and thermal attenuation), zeroed for extinct reflections.
+    """
+    hkl = np.atleast_2d(np.asarray(hkl, dtype=np.float64))
+    allowed = is_reflection_allowed(hkl.astype(np.int64), centering)
+    magnitude = float(atomic_number) * np.exp(-0.02 * np.sum(hkl * hkl, axis=-1))
+    multiplicity = {"P": 1.0, "I": 2.0, "F": 4.0, "diamond": 8.0}[centering]
+    values = np.where(allowed, multiplicity * magnitude, 0.0)
+    return values if np.asarray(hkl).ndim > 1 else float(values[0])

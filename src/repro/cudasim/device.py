@@ -1,0 +1,154 @@
+"""Simulated CUDA device.
+
+``DeviceProperties`` mirrors the subset of ``cudaDeviceProp`` the paper's
+design depends on (memory capacity and launch limits) plus the throughput
+numbers used by the performance model.  ``TESLA_M2070`` reproduces the card
+named in the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.cudasim.errors import LaunchConfigError
+from repro.cudasim.memory import MemoryPool
+from repro.cudasim.perfmodel import PerformanceModel
+from repro.cudasim.profiler import Profiler
+from repro.utils.validation import ensure_positive
+
+__all__ = ["DeviceProperties", "Device", "TESLA_M2070", "GENERIC_LAPTOP_GPU"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static properties of a simulated device."""
+
+    name: str = "Simulated GPU"
+    total_memory_bytes: int = 6 * 1024**3
+    max_threads_per_block: int = 1024
+    max_block_dim: Tuple[int, int, int] = (1024, 1024, 64)
+    max_grid_dim: Tuple[int, int, int] = (65535, 65535, 1)
+    warp_size: int = 32
+    multiprocessors: int = 14
+    peak_flops: float = 515e9
+    memory_bandwidth: float = 150e9
+    pcie_bandwidth: float = 6e9
+
+    def __post_init__(self):
+        ensure_positive(self.total_memory_bytes, "total_memory_bytes")
+        ensure_positive(self.max_threads_per_block, "max_threads_per_block")
+        if len(self.max_block_dim) != 3 or len(self.max_grid_dim) != 3:
+            raise ValueError("max_block_dim and max_grid_dim must be 3-tuples")
+
+    def performance_model(self) -> PerformanceModel:
+        """Build the analytic performance model matching these properties."""
+        return PerformanceModel(
+            peak_flops=self.peak_flops,
+            memory_bandwidth=self.memory_bandwidth,
+            pcie_bandwidth=self.pcie_bandwidth,
+        )
+
+
+#: The card used in the paper's evaluation (Fermi GF100, 6 GB, PCIe 2.0 x16).
+TESLA_M2070 = DeviceProperties(
+    name="Tesla M2070",
+    total_memory_bytes=6 * 1024**3,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(65535, 65535, 1),
+    warp_size=32,
+    multiprocessors=14,
+    peak_flops=515e9,
+    memory_bandwidth=150e9,
+    pcie_bandwidth=6e9,
+)
+
+#: A deliberately small device used in tests/benchmarks so that the chunked
+#: streaming path is exercised on laptop-sized data.
+GENERIC_LAPTOP_GPU = DeviceProperties(
+    name="Generic laptop GPU (scaled)",
+    total_memory_bytes=64 * 1024**2,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(65535, 65535, 64),
+    warp_size=32,
+    multiprocessors=8,
+    peak_flops=200e9,
+    memory_bandwidth=80e9,
+    pcie_bandwidth=4e9,
+)
+
+
+class Device:
+    """A simulated GPU: memory pool + simulated clock + profiler.
+
+    Parameters
+    ----------
+    properties:
+        Static device properties (default: the paper's Tesla M2070).
+    memory_limit_bytes:
+        Optional override of the usable device memory (for scaling
+        experiments down without redefining the whole device).
+    """
+
+    def __init__(
+        self,
+        properties: DeviceProperties = TESLA_M2070,
+        memory_limit_bytes: int | None = None,
+    ):
+        self.properties = properties
+        limit = int(memory_limit_bytes) if memory_limit_bytes is not None else properties.total_memory_bytes
+        ensure_positive(limit, "memory_limit_bytes")
+        self.memory = MemoryPool(limit)
+        self.perf = properties.performance_model()
+        self.profiler = Profiler()
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated seconds spent in transfers and kernels so far."""
+        return self._clock
+
+    def reset_clock(self) -> None:
+        """Reset the simulated clock and the profiler timeline."""
+        self._clock = 0.0
+        self.profiler.clear()
+
+    def advance_clock(self, seconds: float, label: str, kind: str, detail: dict | None = None) -> None:
+        """Advance the simulated clock and record a profile entry."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        start = self._clock
+        self._clock += seconds
+        self.profiler.record(kind=kind, label=label, start=start, duration=seconds, detail=detail or {})
+
+    # ------------------------------------------------------------------ #
+    def validate_launch(self, grid_dim: Tuple[int, int, int], block_dim: Tuple[int, int, int]) -> None:
+        """Raise :class:`LaunchConfigError` if the launch violates device limits."""
+        if len(grid_dim) != 3 or len(block_dim) != 3:
+            raise LaunchConfigError("grid_dim and block_dim must be 3-tuples")
+        if any(int(g) < 1 for g in grid_dim) or any(int(b) < 1 for b in block_dim):
+            raise LaunchConfigError("grid and block dimensions must be >= 1")
+        threads_per_block = int(block_dim[0]) * int(block_dim[1]) * int(block_dim[2])
+        if threads_per_block > self.properties.max_threads_per_block:
+            raise LaunchConfigError(
+                f"{threads_per_block} threads per block exceeds the device limit "
+                f"of {self.properties.max_threads_per_block}"
+            )
+        for axis, (b, limit) in enumerate(zip(block_dim, self.properties.max_block_dim)):
+            if int(b) > limit:
+                raise LaunchConfigError(f"block dimension {axis} = {b} exceeds limit {limit}")
+        for axis, (g, limit) in enumerate(zip(grid_dim, self.properties.max_grid_dim)):
+            if int(g) > limit:
+                raise LaunchConfigError(f"grid dimension {axis} = {g} exceeds limit {limit}")
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        used = self.memory.used_bytes
+        total = self.memory.capacity_bytes
+        return (
+            f"Device({self.properties.name!r}, memory {used}/{total} bytes, "
+            f"simulated_time={self._clock:.6f}s)"
+        )

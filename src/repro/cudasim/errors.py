@@ -1,0 +1,35 @@
+"""Exception hierarchy of the simulated CUDA runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CudaSimError",
+    "DeviceMemoryError",
+    "LaunchConfigError",
+    "TransferError",
+    "InvalidBufferError",
+]
+
+
+class CudaSimError(RuntimeError):
+    """Base class for all simulated-CUDA errors (analogue of ``cudaError_t``)."""
+
+
+class DeviceMemoryError(CudaSimError):
+    """Raised when a device allocation exceeds the remaining device memory.
+
+    Mirrors ``cudaErrorMemoryAllocation``; the reconstruction responds to it
+    by shrinking the number of detector rows streamed per chunk.
+    """
+
+
+class LaunchConfigError(CudaSimError):
+    """Raised when a kernel launch violates the device's launch limits."""
+
+
+class TransferError(CudaSimError):
+    """Raised on invalid host<->device copies (size/dtype mismatch, freed buffer)."""
+
+
+class InvalidBufferError(CudaSimError):
+    """Raised when a device buffer is used after being freed."""

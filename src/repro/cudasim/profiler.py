@@ -1,0 +1,92 @@
+"""Timeline profiler for the simulated device.
+
+Each transfer and kernel launch appends a :class:`ProfileRecord`; the
+summary aggregates time by kind so experiments can report the
+computation-vs-communication split the paper's design discussion revolves
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ProfileRecord", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One entry on the simulated timeline."""
+
+    kind: str
+    label: str
+    start: float
+    duration: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """End time of the entry on the simulated clock."""
+        return self.start + self.duration
+
+
+class Profiler:
+    """Accumulates :class:`ProfileRecord` entries."""
+
+    def __init__(self):
+        self._records: List[ProfileRecord] = []
+
+    def record(self, kind: str, label: str, start: float, duration: float, detail: dict | None = None) -> ProfileRecord:
+        """Append a record and return it."""
+        rec = ProfileRecord(kind=kind, label=label, start=start, duration=duration, detail=detail or {})
+        self._records.append(rec)
+        return rec
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    @property
+    def records(self) -> List[ProfileRecord]:
+        """All records, in submission order."""
+        return list(self._records)
+
+    def total_time(self, kind: str | None = None) -> float:
+        """Total simulated seconds, optionally restricted to one record kind."""
+        return sum(r.duration for r in self._records if kind is None or r.kind == kind)
+
+    def time_by_kind(self) -> Dict[str, float]:
+        """Simulated seconds aggregated per record kind."""
+        out: Dict[str, float] = {}
+        for rec in self._records:
+            out[rec.kind] = out.get(rec.kind, 0.0) + rec.duration
+        return out
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Number of records per kind."""
+        out: Dict[str, int] = {}
+        for rec in self._records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    def transfer_fraction(self) -> float:
+        """Fraction of simulated time spent in host<->device transfers."""
+        total = self.total_time()
+        if total == 0:
+            return 0.0
+        transfers = sum(
+            r.duration for r in self._records if r.kind in ("memcpy_h2d", "memcpy_d2h", "memcpy_d2d")
+        )
+        return transfers / total
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the timeline."""
+        lines = ["simulated device timeline summary:"]
+        by_kind = self.time_by_kind()
+        counts = self.count_by_kind()
+        for kind in sorted(by_kind):
+            lines.append(
+                f"  {kind:<12s} {counts[kind]:6d} ops   {by_kind[kind]:12.6f} s"
+            )
+        lines.append(f"  {'total':<12s} {len(self._records):6d} ops   {self.total_time():12.6f} s")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Streams and events on the simulated clock.
+
+Only the pieces needed for timing experiments are modelled: events record a
+point on the device's simulated clock, and ``Event.elapsed_time`` mirrors
+``cudaEventElapsedTime`` (returning milliseconds).  Streams are sequential —
+the paper's implementation uses the default stream and does not overlap
+transfers with compute, which is exactly the behaviour reproduced here (and
+one of the extensions the related-work section discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cudasim.device import Device
+
+__all__ = ["Event", "Stream"]
+
+
+@dataclass
+class Event:
+    """A recorded point on the simulated device timeline."""
+
+    name: str = "event"
+    timestamp: Optional[float] = None
+
+    def record(self, device: Device) -> "Event":
+        """Record the event at the device's current simulated time."""
+        self.timestamp = device.simulated_time
+        return self
+
+    def elapsed_time(self, later: "Event") -> float:
+        """Milliseconds between this event and *later* (``cudaEventElapsedTime``)."""
+        if self.timestamp is None or later.timestamp is None:
+            raise RuntimeError("both events must be recorded before measuring elapsed time")
+        return (later.timestamp - self.timestamp) * 1e3
+
+
+@dataclass
+class Stream:
+    """A sequential work queue on the simulated device."""
+
+    device: Device
+    name: str = "default"
+    _events: List[Event] = field(default_factory=list)
+
+    def record_event(self, name: str = "event") -> Event:
+        """Create and record an event at the stream's current position."""
+        event = Event(name=name).record(self.device)
+        self._events.append(event)
+        return event
+
+    def synchronize(self) -> float:
+        """Return the simulated time at which all queued work has finished.
+
+        Work is executed eagerly in this simulation, so synchronisation simply
+        reports the current simulated clock.
+        """
+        return self.device.simulated_time
+
+    @property
+    def events(self) -> List[Event]:
+        """Events recorded on this stream, in order."""
+        return list(self._events)

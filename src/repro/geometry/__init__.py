@@ -1,0 +1,40 @@
+"""Experimental geometry for the wire-scan (DAXM) depth reconstruction.
+
+Laboratory frame convention (see DESIGN.md §5):
+
+* the incident X-ray beam travels along **+z**; depth ``d`` along the beam is
+  measured from the lab origin, so the illuminated line inside the sample is
+  ``(x=0, y=0, z=d)``;
+* the occluding wire has its axis along **+x** and is scanned in the (y, z)
+  plane between the sample and the detector;
+* the area detector sits above the sample at ``y = distance`` with detector
+  columns along **x** and detector rows along **z**.
+
+Because the wire is an (effectively infinite) cylinder along x, all of the
+occlusion geometry lives in the (y, z) plane — exactly the
+``pixel_to_wireCenter_y / _z / _len`` formulation of the paper's CUDA kernel.
+"""
+
+from repro.geometry.vectors import normalize, perpendicular_distance_2d
+from repro.geometry.rotations import (
+    rotation_about_axis,
+    rotation_from_euler,
+    random_rotation,
+)
+from repro.geometry.beam import Beam
+from repro.geometry.detector import Detector
+from repro.geometry.wire import Wire, WireEdge
+from repro.geometry.scan import WireScan
+
+__all__ = [
+    "normalize",
+    "perpendicular_distance_2d",
+    "rotation_about_axis",
+    "rotation_from_euler",
+    "random_rotation",
+    "Beam",
+    "Detector",
+    "Wire",
+    "WireEdge",
+    "WireScan",
+]

@@ -1,0 +1,136 @@
+"""Rotation utilities (matrices, axis-angle, Euler, quaternions).
+
+Used by the crystallography subpackage to orient grains and by the geometry
+subpackage to allow tilted detectors.  Only the pieces the reconstruction and
+the synthetic forward model need are implemented — this is not a general
+orientation library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "rotation_about_axis",
+    "rotation_from_euler",
+    "random_rotation",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "is_rotation_matrix",
+    "misorientation_angle",
+]
+
+
+def rotation_about_axis(axis, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix for a rotation of *angle* radians about *axis*."""
+    axis = np.asarray(axis, dtype=np.float64)
+    n = np.linalg.norm(axis)
+    if n == 0:
+        raise ValidationError("rotation axis must be non-zero")
+    x, y, z = axis / n
+    c, s = np.cos(angle), np.sin(angle)
+    one_c = 1.0 - c
+    return np.array(
+        [
+            [c + x * x * one_c, x * y * one_c - z * s, x * z * one_c + y * s],
+            [y * x * one_c + z * s, c + y * y * one_c, y * z * one_c - x * s],
+            [z * x * one_c - y * s, z * y * one_c + x * s, c + z * z * one_c],
+        ],
+        dtype=np.float64,
+    )
+
+
+def rotation_from_euler(phi1: float, theta: float, phi2: float) -> np.ndarray:
+    """Rotation matrix from Bunge Euler angles (Z-X-Z convention, radians)."""
+    rz1 = rotation_about_axis((0.0, 0.0, 1.0), phi1)
+    rx = rotation_about_axis((1.0, 0.0, 0.0), theta)
+    rz2 = rotation_about_axis((0.0, 0.0, 1.0), phi2)
+    return rz1 @ rx @ rz2
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniformly distributed random rotation matrix (Shoemake's method)."""
+    u1, u2, u3 = rng.random(3)
+    q = np.array(
+        [
+            np.sqrt(1.0 - u1) * np.sin(2.0 * np.pi * u2),
+            np.sqrt(1.0 - u1) * np.cos(2.0 * np.pi * u2),
+            np.sqrt(u1) * np.sin(2.0 * np.pi * u3),
+            np.sqrt(u1) * np.cos(2.0 * np.pi * u3),
+        ]
+    )
+    return quaternion_to_matrix(q)
+
+
+def quaternion_to_matrix(q) -> np.ndarray:
+    """Rotation matrix from quaternion ``(x, y, z, w)`` (normalised internally)."""
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape != (4,):
+        raise ValidationError(f"quaternion must have shape (4,), got {q.shape}")
+    n = np.linalg.norm(q)
+    if n == 0:
+        raise ValidationError("quaternion must be non-zero")
+    x, y, z, w = q / n
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - z * w), 2 * (x * z + y * w)],
+            [2 * (x * y + z * w), 1 - 2 * (x * x + z * z), 2 * (y * z - x * w)],
+            [2 * (x * z - y * w), 2 * (y * z + x * w), 1 - 2 * (x * x + y * y)],
+        ],
+        dtype=np.float64,
+    )
+
+
+def matrix_to_quaternion(rot: np.ndarray) -> np.ndarray:
+    """Quaternion ``(x, y, z, w)`` from a rotation matrix (Shepperd's method)."""
+    rot = np.asarray(rot, dtype=np.float64)
+    if rot.shape != (3, 3):
+        raise ValidationError(f"rotation matrix must be 3x3, got {rot.shape}")
+    trace = np.trace(rot)
+    if trace > 0:
+        s = 2.0 * np.sqrt(1.0 + trace)
+        w = 0.25 * s
+        x = (rot[2, 1] - rot[1, 2]) / s
+        y = (rot[0, 2] - rot[2, 0]) / s
+        z = (rot[1, 0] - rot[0, 1]) / s
+    else:
+        i = int(np.argmax(np.diag(rot)))
+        if i == 0:
+            s = 2.0 * np.sqrt(1.0 + rot[0, 0] - rot[1, 1] - rot[2, 2])
+            x = 0.25 * s
+            y = (rot[0, 1] + rot[1, 0]) / s
+            z = (rot[0, 2] + rot[2, 0]) / s
+            w = (rot[2, 1] - rot[1, 2]) / s
+        elif i == 1:
+            s = 2.0 * np.sqrt(1.0 + rot[1, 1] - rot[0, 0] - rot[2, 2])
+            x = (rot[0, 1] + rot[1, 0]) / s
+            y = 0.25 * s
+            z = (rot[1, 2] + rot[2, 1]) / s
+            w = (rot[0, 2] - rot[2, 0]) / s
+        else:
+            s = 2.0 * np.sqrt(1.0 + rot[2, 2] - rot[0, 0] - rot[1, 1])
+            x = (rot[0, 2] + rot[2, 0]) / s
+            y = (rot[1, 2] + rot[2, 1]) / s
+            z = 0.25 * s
+            w = (rot[1, 0] - rot[0, 1]) / s
+    q = np.array([x, y, z, w], dtype=np.float64)
+    return q / np.linalg.norm(q)
+
+
+def is_rotation_matrix(rot: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if *rot* is a proper rotation (orthogonal, determinant +1)."""
+    rot = np.asarray(rot, dtype=np.float64)
+    if rot.shape != (3, 3):
+        return False
+    if not np.allclose(rot @ rot.T, np.eye(3), atol=atol):
+        return False
+    return bool(np.isclose(np.linalg.det(rot), 1.0, atol=atol))
+
+
+def misorientation_angle(rot_a: np.ndarray, rot_b: np.ndarray) -> float:
+    """Rotation angle (radians) between two orientations."""
+    delta = np.asarray(rot_a, dtype=np.float64) @ np.asarray(rot_b, dtype=np.float64).T
+    cos_angle = (np.trace(delta) - 1.0) / 2.0
+    return float(np.arccos(np.clip(cos_angle, -1.0, 1.0)))

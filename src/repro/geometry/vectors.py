@@ -1,0 +1,104 @@
+"""Small vector helpers used throughout the geometry package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "norm",
+    "cross",
+    "dot",
+    "angle_between",
+    "perpendicular_distance_2d",
+    "project_point_on_segment_2d",
+]
+
+
+def norm(v: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Euclidean norm along *axis*."""
+    return np.linalg.norm(np.asarray(v, dtype=np.float64), axis=axis)
+
+
+def normalize(v: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Return *v* scaled to unit length along *axis*.
+
+    Raises
+    ------
+    ValueError
+        If any vector has (near) zero length.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    n = np.linalg.norm(v, axis=axis, keepdims=True)
+    if np.any(n < 1e-300):
+        raise ValueError("cannot normalize zero-length vector")
+    return v / n
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product (thin wrapper for API symmetry)."""
+    return np.cross(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+
+def dot(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Dot product along *axis*."""
+    return np.sum(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64), axis=axis)
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle in radians between two 3-vectors, numerically stable near 0/pi."""
+    a = normalize(np.asarray(a, dtype=np.float64))
+    b = normalize(np.asarray(b, dtype=np.float64))
+    # atan2 form is stable for nearly (anti)parallel vectors.
+    return float(np.arctan2(np.linalg.norm(np.cross(a, b)), np.dot(a, b)))
+
+
+def perpendicular_distance_2d(
+    point_y: np.ndarray,
+    point_z: np.ndarray,
+    a_y: np.ndarray,
+    a_z: np.ndarray,
+    b_y: np.ndarray,
+    b_z: np.ndarray,
+) -> np.ndarray:
+    """Perpendicular distance from a 2-D point to the infinite line through A and B.
+
+    All arguments broadcast; coordinates are given in the (y, z) plane used by
+    the wire-occlusion geometry.
+    """
+    point_y = np.asarray(point_y, dtype=np.float64)
+    point_z = np.asarray(point_z, dtype=np.float64)
+    dy = np.asarray(b_y, dtype=np.float64) - np.asarray(a_y, dtype=np.float64)
+    dz = np.asarray(b_z, dtype=np.float64) - np.asarray(a_z, dtype=np.float64)
+    length = np.hypot(dy, dz)
+    # 2-D cross product magnitude / segment length
+    cross_mag = np.abs(dy * (np.asarray(a_z) - point_z) - dz * (np.asarray(a_y) - point_y))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        dist = np.where(length > 0, cross_mag / length, np.hypot(point_y - a_y, point_z - a_z))
+    return dist
+
+
+def project_point_on_segment_2d(
+    point_y: np.ndarray,
+    point_z: np.ndarray,
+    a_y: np.ndarray,
+    a_z: np.ndarray,
+    b_y: np.ndarray,
+    b_z: np.ndarray,
+) -> np.ndarray:
+    """Normalised parameter ``t`` of the projection of a point onto segment AB.
+
+    ``t = 0`` at A, ``t = 1`` at B; values outside [0, 1] mean the foot of the
+    perpendicular lies outside the segment.
+    """
+    ay = np.asarray(a_y, dtype=np.float64)
+    az = np.asarray(a_z, dtype=np.float64)
+    dy = np.asarray(b_y, dtype=np.float64) - ay
+    dz = np.asarray(b_z, dtype=np.float64) - az
+    denom = dy * dy + dz * dz
+    num = (np.asarray(point_y, dtype=np.float64) - ay) * dy + (
+        np.asarray(point_z, dtype=np.float64) - az
+    ) * dz
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.where(denom > 0, num / denom, 0.0)
+    return t

@@ -1,0 +1,35 @@
+"""File input/output.
+
+The original pipeline reads wire-scan detector images from HDF5 files and
+writes depth-resolved results back to disk (HDF5 and text).  ``h5py`` is not
+available in this offline environment, so ``h5lite`` implements a small,
+self-contained hierarchical container with the features the pipeline needs:
+groups, n-dimensional datasets, attributes and chunked storage along the
+leading axis.  ``image_stack`` maps the experiment objects to/from that
+container, and ``text_output`` reproduces the per-pixel depth-profile text
+files the CPU side of the original program produces.
+"""
+
+from repro.io.h5lite import H5LiteFile, Dataset, Group, H5LiteError
+from repro.io.image_stack import (
+    save_wire_scan,
+    load_wire_scan,
+    save_depth_resolved,
+    load_depth_resolved,
+)
+from repro.io.text_output import write_depth_profiles, read_depth_profiles
+from repro.io.metadata import ExperimentMetadata
+
+__all__ = [
+    "H5LiteFile",
+    "Dataset",
+    "Group",
+    "H5LiteError",
+    "save_wire_scan",
+    "load_wire_scan",
+    "save_depth_resolved",
+    "load_depth_resolved",
+    "write_depth_profiles",
+    "read_depth_profiles",
+    "ExperimentMetadata",
+]

@@ -1,0 +1,446 @@
+"""``h5lite``: a minimal hierarchical array container.
+
+This module stands in for HDF5 (the paper's input format) in an environment
+without ``h5py``.  It supports the subset of the HDF5 data model the
+reconstruction pipeline relies on:
+
+* a tree of named **groups**;
+* n-dimensional **datasets** of any NumPy dtype, stored contiguously or
+  **chunked along the leading axis** so that a few detector rows/images can
+  be read without loading the whole cube;
+* JSON-serialisable **attributes** on groups and datasets;
+* partial reads (``dataset[i:j]``) that only touch the required chunks.
+
+File layout::
+
+    bytes 0..7     magic  b"H5LITE01"
+    bytes 8..15    little-endian uint64: header length H
+    bytes 16..16+H JSON header describing the tree and every data block
+    remainder      raw little-endian array bytes, one block per chunk
+
+The JSON header stores, for every dataset chunk, its byte offset relative to
+the start of the data section, so readers can seek directly to any chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["H5LiteError", "Dataset", "Group", "H5LiteFile"]
+
+_MAGIC = b"H5LITE01"
+
+
+class H5LiteError(IOError):
+    """Raised for malformed files, wrong modes, and invalid paths."""
+
+
+def _normalize_path(path: str) -> List[str]:
+    parts = [p for p in path.strip("/").split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise H5LiteError(f"invalid path component {part!r} in {path!r}")
+    return parts
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"attribute value of type {type(obj).__name__} is not serialisable")
+
+
+class Dataset:
+    """A named n-dimensional array inside an :class:`H5LiteFile`."""
+
+    def __init__(
+        self,
+        file: "H5LiteFile",
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        chunk_rows: Optional[int],
+        chunk_offsets: List[int],
+        attrs: Dict,
+        data: Optional[np.ndarray] = None,
+    ):
+        self._file = file
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.chunk_rows = int(chunk_rows) if chunk_rows else None
+        self._chunk_offsets = list(chunk_offsets)
+        self.attrs: Dict = dict(attrs)
+        self._data = data  # only set while writing
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Total byte size of the dataset."""
+        return self.size * self.dtype.itemsize
+
+    def _row_bytes(self) -> int:
+        if not self.shape:
+            return self.dtype.itemsize
+        per_row = int(np.prod(self.shape[1:], dtype=np.int64)) if len(self.shape) > 1 else 1
+        return per_row * self.dtype.itemsize
+
+    def _n_chunks(self) -> int:
+        if self.chunk_rows is None or not self.shape:
+            return 1
+        return max(1, -(-self.shape[0] // self.chunk_rows))
+
+    # ------------------------------------------------------------------ #
+    def read(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Read rows ``start:stop`` along the leading axis (whole array by default)."""
+        if self._data is not None:
+            full = self._data
+            if not self.shape:
+                return full.copy()
+            stop = self.shape[0] if stop is None else stop
+            return full[start:stop].copy()
+        return self._file._read_dataset(self, start, stop)
+
+    def __getitem__(self, key) -> np.ndarray:
+        if key is Ellipsis:
+            return self.read()
+        if isinstance(key, slice):
+            if key.step not in (None, 1):
+                raise H5LiteError("h5lite datasets only support contiguous slices on the leading axis")
+            start = 0 if key.start is None else int(key.start)
+            stop = None if key.stop is None else int(key.stop)
+            return self.read(start, stop)
+        if isinstance(key, (int, np.integer)):
+            rows = self.read(int(key), int(key) + 1)
+            return rows[0]
+        raise H5LiteError(f"unsupported index {key!r}; use [...], [i] or [i:j]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+class Group:
+    """A named collection of groups and datasets."""
+
+    def __init__(self, file: "H5LiteFile", name: str):
+        self._file = file
+        self.name = name
+        self.attrs: Dict = {}
+        self._children: Dict[str, "Group"] = {}
+        self._datasets: Dict[str, Dataset] = {}
+
+    # ------------------------------------------------------------------ #
+    def create_group(self, name: str) -> "Group":
+        """Create (or return an existing) sub-group."""
+        self._file._require_writable()
+        parts = _normalize_path(name)
+        node = self
+        for part in parts:
+            if part in node._datasets:
+                raise H5LiteError(f"cannot create group {name!r}: {part!r} is a dataset")
+            if part not in node._children:
+                child_name = f"{node.name.rstrip('/')}/{part}" if node.name != "/" else f"/{part}"
+                node._children[part] = Group(self._file, child_name)
+            node = node._children[part]
+        return node
+
+    def create_dataset(
+        self,
+        name: str,
+        data: np.ndarray,
+        chunk_rows: Optional[int] = None,
+        attrs: Optional[Dict] = None,
+    ) -> Dataset:
+        """Create a dataset holding *data* (copied at write time)."""
+        self._file._require_writable()
+        parts = _normalize_path(name)
+        if not parts:
+            raise H5LiteError("dataset name must be non-empty")
+        *group_parts, leaf = parts
+        node = self.create_group("/".join(group_parts)) if group_parts else self
+        if leaf in node._datasets or leaf in node._children:
+            raise H5LiteError(f"object {name!r} already exists in group {node.name!r}")
+        data = np.asarray(data)
+        dataset_name = f"{node.name.rstrip('/')}/{leaf}" if node.name != "/" else f"/{leaf}"
+        ds = Dataset(
+            file=self._file,
+            name=dataset_name,
+            shape=data.shape,
+            dtype=data.dtype,
+            chunk_rows=chunk_rows,
+            chunk_offsets=[],
+            attrs=attrs or {},
+            data=np.ascontiguousarray(data),
+        )
+        node._datasets[leaf] = ds
+        return ds
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        try:
+            self[name]
+            return True
+        except (KeyError, H5LiteError):
+            return False
+
+    def __getitem__(self, name: str):
+        parts = _normalize_path(name)
+        node: Group = self
+        for i, part in enumerate(parts):
+            if part in node._children:
+                node = node._children[part]
+            elif part in node._datasets:
+                if i != len(parts) - 1:
+                    raise H5LiteError(f"{part!r} is a dataset, not a group")
+                return node._datasets[part]
+            else:
+                raise KeyError(f"no object named {name!r} in group {self.name!r}")
+        return node
+
+    def keys(self) -> List[str]:
+        """Names of immediate children (groups first, then datasets)."""
+        return list(self._children.keys()) + list(self._datasets.keys())
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate over (name, group-or-dataset) pairs."""
+        for k, v in self._children.items():
+            yield k, v
+        for k, v in self._datasets.items():
+            yield k, v
+
+    def groups(self) -> Dict[str, "Group"]:
+        """Immediate sub-groups."""
+        return dict(self._children)
+
+    def datasets(self) -> Dict[str, Dataset]:
+        """Immediate datasets."""
+        return dict(self._datasets)
+
+    def visit(self) -> Iterator[object]:
+        """Depth-first iteration over every group and dataset below this one."""
+        for child in self._children.values():
+            yield child
+            yield from child.visit()
+        for ds in self._datasets.values():
+            yield ds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group({self.name!r}, {len(self._children)} groups, {len(self._datasets)} datasets)"
+
+
+class H5LiteFile:
+    """A hierarchical array container file.
+
+    Use as a context manager::
+
+        with H5LiteFile(path, "w") as f:
+            grp = f.create_group("entry")
+            grp.create_dataset("images", cube, chunk_rows=4)
+            grp.attrs["note"] = "synthetic"
+
+        with H5LiteFile(path, "r") as f:
+            cube = f["entry/images"][...]
+    """
+
+    def __init__(self, path, mode: str = "r"):
+        if mode not in ("r", "w"):
+            raise H5LiteError(f"mode must be 'r' or 'w', got {mode!r}")
+        self.path = os.fspath(path)
+        self.mode = mode
+        self.root = Group(self, "/")
+        self._closed = False
+        self._data_start = 0
+        if mode == "r":
+            self._load_header()
+
+    # ------------------------------------------------------------------ #
+    def _require_writable(self) -> None:
+        if self.mode != "w":
+            raise H5LiteError("file is open read-only")
+        if self._closed:
+            raise H5LiteError("file is closed")
+
+    def create_group(self, name: str) -> Group:
+        """Create a group under the root."""
+        return self.root.create_group(name)
+
+    def create_dataset(self, name: str, data: np.ndarray, chunk_rows: Optional[int] = None,
+                       attrs: Optional[Dict] = None) -> Dataset:
+        """Create a dataset under the root."""
+        return self.root.create_dataset(name, data, chunk_rows=chunk_rows, attrs=attrs)
+
+    def __getitem__(self, name: str):
+        return self.root[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.root
+
+    @property
+    def attrs(self) -> Dict:
+        """Attributes of the root group."""
+        return self.root.attrs
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush (in write mode) and close the file."""
+        if self._closed:
+            return
+        if self.mode == "w":
+            self._write_out()
+        self._closed = True
+
+    def __enter__(self) -> "H5LiteFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # writing
+    def _write_out(self) -> None:
+        header: Dict = {"attrs": self.root.attrs, "tree": {}}
+        blocks: List[np.ndarray] = []
+        offset = 0
+
+        def serialise_group(group: Group) -> Dict:
+            nonlocal offset
+            node = {"type": "group", "attrs": group.attrs, "children": {}}
+            for name, child in group._children.items():
+                node["children"][name] = serialise_group(child)
+            for name, ds in group._datasets.items():
+                data = ds._data
+                chunk_rows = ds.chunk_rows
+                chunk_offsets = []
+                if chunk_rows and data.ndim >= 1 and data.shape[0] > 0:
+                    for start in range(0, data.shape[0], chunk_rows):
+                        block = np.ascontiguousarray(data[start:start + chunk_rows])
+                        chunk_offsets.append(offset)
+                        blocks.append(block)
+                        offset += block.nbytes
+                else:
+                    block = np.ascontiguousarray(data)
+                    chunk_offsets.append(offset)
+                    blocks.append(block)
+                    offset += block.nbytes
+                node["children"][name] = {
+                    "type": "dataset",
+                    # ds.shape (not data.shape): ascontiguousarray promotes
+                    # 0-d scalars to 1-d, but the dataset keeps its true shape
+                    "shape": list(ds.shape),
+                    "dtype": data.dtype.str,
+                    "chunk_rows": chunk_rows,
+                    "chunk_offsets": chunk_offsets,
+                    "attrs": ds.attrs,
+                }
+            return node
+
+        header["tree"] = serialise_group(self.root)
+        header_bytes = json.dumps(header, default=_json_default).encode("utf-8")
+        with open(self.path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(np.uint64(len(header_bytes)).tobytes())
+            fh.write(header_bytes)
+            for block in blocks:
+                fh.write(block.tobytes())
+
+    # ------------------------------------------------------------------ #
+    # reading
+    def _load_header(self) -> None:
+        if not os.path.exists(self.path):
+            raise H5LiteError(f"no such file: {self.path}")
+        with open(self.path, "rb") as fh:
+            magic = fh.read(8)
+            if magic != _MAGIC:
+                raise H5LiteError(f"{self.path} is not an h5lite file (bad magic {magic!r})")
+            (header_len,) = np.frombuffer(fh.read(8), dtype=np.uint64)
+            header_bytes = fh.read(int(header_len))
+            if len(header_bytes) != int(header_len):
+                raise H5LiteError("truncated h5lite header")
+            self._data_start = 16 + int(header_len)
+        header = json.loads(header_bytes.decode("utf-8"))
+        self.root.attrs.update(header.get("attrs", {}))
+
+        def build_group(group: Group, node: Dict) -> None:
+            group.attrs.update(node.get("attrs", {}))
+            for name, child in node.get("children", {}).items():
+                if child["type"] == "group":
+                    sub = Group(self, f"{group.name.rstrip('/')}/{name}" if group.name != "/" else f"/{name}")
+                    group._children[name] = sub
+                    build_group(sub, child)
+                else:
+                    ds = Dataset(
+                        file=self,
+                        name=f"{group.name.rstrip('/')}/{name}" if group.name != "/" else f"/{name}",
+                        shape=tuple(child["shape"]),
+                        dtype=np.dtype(child["dtype"]),
+                        chunk_rows=child.get("chunk_rows"),
+                        chunk_offsets=child.get("chunk_offsets", []),
+                        attrs=child.get("attrs", {}),
+                    )
+                    group._datasets[name] = ds
+
+        build_group(self.root, header["tree"])
+
+    def _read_dataset(self, ds: Dataset, start: int, stop: Optional[int]) -> np.ndarray:
+        if self.mode != "r":
+            raise H5LiteError("partial reads require the file to be open in read mode")
+        if not ds.shape:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._data_start + ds._chunk_offsets[0])
+                raw = fh.read(ds.dtype.itemsize)
+            return np.frombuffer(raw, dtype=ds.dtype)[0].copy()
+
+        n_rows = ds.shape[0]
+        stop = n_rows if stop is None else min(stop, n_rows)
+        start = max(0, start)
+        if stop <= start:
+            return np.empty((0,) + ds.shape[1:], dtype=ds.dtype)
+
+        row_bytes = ds._row_bytes()
+        out = np.empty((stop - start,) + ds.shape[1:], dtype=ds.dtype)
+        with open(self.path, "rb") as fh:
+            if ds.chunk_rows is None:
+                fh.seek(self._data_start + ds._chunk_offsets[0] + start * row_bytes)
+                raw = fh.read((stop - start) * row_bytes)
+                out[...] = np.frombuffer(raw, dtype=ds.dtype).reshape(out.shape)
+            else:
+                chunk_rows = ds.chunk_rows
+                filled = 0
+                first_chunk = start // chunk_rows
+                last_chunk = (stop - 1) // chunk_rows
+                for chunk_index in range(first_chunk, last_chunk + 1):
+                    chunk_start_row = chunk_index * chunk_rows
+                    chunk_stop_row = min(chunk_start_row + chunk_rows, n_rows)
+                    lo = max(start, chunk_start_row)
+                    hi = min(stop, chunk_stop_row)
+                    fh.seek(
+                        self._data_start
+                        + ds._chunk_offsets[chunk_index]
+                        + (lo - chunk_start_row) * row_bytes
+                    )
+                    raw = fh.read((hi - lo) * row_bytes)
+                    out[filled:filled + (hi - lo)] = np.frombuffer(raw, dtype=ds.dtype).reshape(
+                        (hi - lo,) + ds.shape[1:]
+                    )
+                    filled += hi - lo
+        return out

@@ -1,0 +1,162 @@
+"""Reading and writing experiment data as h5lite containers.
+
+File schema (groups/datasets), loosely modelled on the 34-ID HDF5 layout:
+
+``/entry``
+    root group with experiment attributes
+``/entry/data/images``
+    ``(n_positions, n_rows, n_cols)`` float64 intensity cube, chunked along
+    the wire-position axis
+``/entry/data/pixel_mask``
+    optional ``(n_rows, n_cols)`` uint8 mask
+``/entry/wire/positions_yz``
+    ``(n_positions, 2)`` wire-centre trajectory
+``/entry/wire`` attributes: ``radius``
+``/entry/detector`` attributes: ``n_rows``, ``n_cols``, ``pixel_size``,
+    ``distance``, ``center``
+``/entry/beam`` attributes: ``direction``, ``origin``, energy band
+
+Depth-resolved results are stored under ``/entry/depth_resolved`` with the
+grid parameters as attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.depth_grid import DepthGrid
+from repro.core.result import DepthResolvedStack
+from repro.core.stack import WireScanStack
+from repro.geometry.beam import Beam
+from repro.geometry.detector import Detector
+from repro.geometry.scan import WireScan
+from repro.geometry.wire import Wire
+from repro.io.h5lite import H5LiteFile, H5LiteError
+
+__all__ = [
+    "save_wire_scan",
+    "load_wire_scan",
+    "save_depth_resolved",
+    "load_depth_resolved",
+]
+
+
+def save_wire_scan(path, stack: WireScanStack, chunk_positions: Optional[int] = 4) -> None:
+    """Write a :class:`WireScanStack` to an h5lite file."""
+    with H5LiteFile(path, "w") as fh:
+        entry = fh.create_group("entry")
+        entry.attrs["format"] = "repro-wire-scan"
+        entry.attrs["format_version"] = 1
+        for key, value in stack.metadata.items():
+            entry.attrs[f"meta_{key}"] = value
+
+        data = entry.create_group("data")
+        data.create_dataset("images", stack.images, chunk_rows=chunk_positions)
+        if stack.pixel_mask is not None:
+            data.create_dataset("pixel_mask", stack.pixel_mask.astype(np.uint8))
+
+        wire_grp = entry.create_group("wire")
+        wire_grp.attrs["radius"] = stack.scan.wire.radius
+        wire_grp.create_dataset("positions_yz", stack.scan.positions)
+
+        det_grp = entry.create_group("detector")
+        det_grp.attrs["n_rows"] = stack.detector.n_rows
+        det_grp.attrs["n_cols"] = stack.detector.n_cols
+        det_grp.attrs["pixel_size"] = stack.detector.pixel_size
+        det_grp.attrs["distance"] = stack.detector.distance
+        det_grp.attrs["center"] = list(stack.detector.center)
+
+        beam_grp = entry.create_group("beam")
+        beam_grp.attrs["direction"] = list(stack.beam.direction)
+        beam_grp.attrs["origin"] = list(stack.beam.origin)
+        beam_grp.attrs["energy_min_kev"] = stack.beam.energy_min_kev
+        beam_grp.attrs["energy_max_kev"] = stack.beam.energy_max_kev
+
+
+def load_wire_scan(path) -> WireScanStack:
+    """Read a :class:`WireScanStack` from an h5lite file."""
+    with H5LiteFile(path, "r") as fh:
+        if "entry" not in fh:
+            raise H5LiteError(f"{path} does not contain an /entry group")
+        entry = fh["entry"]
+        if entry.attrs.get("format") != "repro-wire-scan":
+            raise H5LiteError(f"{path} is not a repro wire-scan file")
+
+        images = entry["data/images"][...]
+        pixel_mask = None
+        if "data/pixel_mask" in entry:
+            pixel_mask = entry["data/pixel_mask"][...].astype(bool)
+
+        wire_grp = entry["wire"]
+        wire = Wire(radius=float(wire_grp.attrs["radius"]))
+        positions = entry["wire/positions_yz"][...]
+        scan = WireScan(wire=wire, positions_yz=positions)
+
+        det_grp = entry["detector"]
+        detector = Detector(
+            n_rows=int(det_grp.attrs["n_rows"]),
+            n_cols=int(det_grp.attrs["n_cols"]),
+            pixel_size=float(det_grp.attrs["pixel_size"]),
+            distance=float(det_grp.attrs["distance"]),
+            center=tuple(det_grp.attrs["center"]),
+        )
+
+        beam_grp = entry["beam"]
+        beam = Beam(
+            direction=tuple(beam_grp.attrs["direction"]),
+            origin=tuple(beam_grp.attrs["origin"]),
+            energy_min_kev=float(beam_grp.attrs["energy_min_kev"]),
+            energy_max_kev=float(beam_grp.attrs["energy_max_kev"]),
+        )
+
+        metadata = {
+            key[len("meta_"):]: value
+            for key, value in entry.attrs.items()
+            if key.startswith("meta_")
+        }
+        return WireScanStack(
+            images=images,
+            scan=scan,
+            detector=detector,
+            beam=beam,
+            pixel_mask=pixel_mask,
+            metadata=metadata,
+        )
+
+
+def save_depth_resolved(path, result: DepthResolvedStack, chunk_bins: Optional[int] = 8) -> None:
+    """Write a :class:`DepthResolvedStack` to an h5lite file."""
+    with H5LiteFile(path, "w") as fh:
+        entry = fh.create_group("entry")
+        entry.attrs["format"] = "repro-depth-resolved"
+        entry.attrs["format_version"] = 1
+        for key, value in result.metadata.items():
+            entry.attrs[f"meta_{key}"] = value
+        grp = entry.create_group("depth_resolved")
+        grp.attrs["depth_start"] = result.grid.start
+        grp.attrs["depth_step"] = result.grid.step
+        grp.attrs["n_bins"] = result.grid.n_bins
+        grp.create_dataset("intensity", result.data, chunk_rows=chunk_bins)
+
+
+def load_depth_resolved(path) -> DepthResolvedStack:
+    """Read a :class:`DepthResolvedStack` from an h5lite file."""
+    with H5LiteFile(path, "r") as fh:
+        entry = fh["entry"]
+        if entry.attrs.get("format") != "repro-depth-resolved":
+            raise H5LiteError(f"{path} is not a repro depth-resolved file")
+        grp = entry["depth_resolved"]
+        grid = DepthGrid(
+            start=float(grp.attrs["depth_start"]),
+            step=float(grp.attrs["depth_step"]),
+            n_bins=int(grp.attrs["n_bins"]),
+        )
+        data = entry["depth_resolved/intensity"][...]
+        metadata = {
+            key[len("meta_"):]: value
+            for key, value in entry.attrs.items()
+            if key.startswith("meta_")
+        }
+        return DepthResolvedStack(data=data, grid=grid, metadata=metadata)

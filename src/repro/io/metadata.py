@@ -1,0 +1,52 @@
+"""Experiment metadata carried alongside the image data."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict
+
+__all__ = ["ExperimentMetadata"]
+
+
+@dataclass
+class ExperimentMetadata:
+    """Descriptive metadata for a wire-scan measurement.
+
+    All fields are optional free-form strings/numbers; they are stored as
+    attributes in the h5lite container and round-trip unchanged.  The fields
+    mirror what the 34-ID acquisition writes into its HDF5 files (beamline,
+    sample, scan identifiers and detector exposure settings).
+    """
+
+    beamline: str = "34-ID-E (simulated)"
+    sample_name: str = "synthetic"
+    scan_id: str = ""
+    operator: str = ""
+    exposure_seconds: float = 1.0
+    incident_energy_band_kev: tuple = (7.0, 30.0)
+    comments: str = ""
+    extra: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """Flatten into a JSON-serialisable dictionary."""
+        data = asdict(self)
+        extra = data.pop("extra")
+        data["incident_energy_band_kev"] = list(self.incident_energy_band_kev)
+        for key, value in extra.items():
+            data[f"extra_{key}"] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentMetadata":
+        """Rebuild from a dictionary produced by :meth:`to_dict`."""
+        known = {f for f in cls.__dataclass_fields__ if f != "extra"}
+        kwargs = {}
+        extra = {}
+        for key, value in data.items():
+            if key in known:
+                kwargs[key] = value
+            elif key.startswith("extra_"):
+                extra[key[len("extra_"):]] = value
+        if "incident_energy_band_kev" in kwargs:
+            kwargs["incident_energy_band_kev"] = tuple(kwargs["incident_energy_band_kev"])
+        return cls(extra=extra, **kwargs)

@@ -1,0 +1,83 @@
+"""Plain-text depth-profile output.
+
+The original program writes reconstructed depth profiles to text files on
+the host side ("reading data from HDF5 files and writing result back to text
+files are still running on CPU").  The format here is a simple commented
+column file: one row per depth bin, one column per requested pixel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import DepthResolvedStack
+
+__all__ = ["write_depth_profiles", "read_depth_profiles"]
+
+
+def write_depth_profiles(
+    path,
+    result: DepthResolvedStack,
+    pixels: Sequence[Tuple[int, int]],
+) -> None:
+    """Write depth profiles of selected pixels as a commented column file.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    result:
+        The depth-resolved stack.
+    pixels:
+        Sequence of ``(row, col)`` pixel indices.
+    """
+    pixels = [(int(r), int(c)) for r, c in pixels]
+    depths = result.grid.centers
+    columns = [result.depth_profile(r, c) for r, c in pixels]
+
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# repro depth profiles\n")
+        fh.write(f"# depth_start = {result.grid.start!r}\n")
+        fh.write(f"# depth_step = {result.grid.step!r}\n")
+        fh.write(f"# n_bins = {result.grid.n_bins}\n")
+        fh.write("# pixels = " + " ".join(f"({r},{c})" for r, c in pixels) + "\n")
+        header = "depth_um " + " ".join(f"I_r{r}_c{c}" for r, c in pixels)
+        fh.write("# " + header + "\n")
+        for k, depth in enumerate(depths):
+            row_values = " ".join(f"{col[k]:.10e}" for col in columns)
+            fh.write(f"{depth:.6f} {row_values}\n")
+
+
+def read_depth_profiles(path) -> Tuple[np.ndarray, Dict[Tuple[int, int], np.ndarray]]:
+    """Read a file written by :func:`write_depth_profiles`.
+
+    Returns
+    -------
+    (depths, profiles):
+        The depth-bin centres and a mapping ``(row, col) -> profile array``.
+    """
+    pixels: List[Tuple[int, int]] = []
+    depths: List[float] = []
+    values: List[List[float]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# pixels ="):
+                    tokens = line.split("=", 1)[1].split()
+                    for token in tokens:
+                        r, c = token.strip("()").split(",")
+                        pixels.append((int(r), int(c)))
+                continue
+            parts = line.split()
+            depths.append(float(parts[0]))
+            values.append([float(v) for v in parts[1:]])
+
+    depth_arr = np.asarray(depths, dtype=np.float64)
+    value_arr = np.asarray(values, dtype=np.float64)
+    profiles = {pixel: value_arr[:, i] for i, pixel in enumerate(pixels)}
+    return depth_arr, profiles

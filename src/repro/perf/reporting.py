@@ -1,0 +1,79 @@
+"""Rendering benchmark results as paper-style tables.
+
+Each of the paper's figures is a grouped bar chart: an x-axis category
+(data-set size or pixel percentage) with one bar per variant (CPU vs GPU, or
+1-D vs 3-D layout).  ``format_series_table`` prints the same information as a
+fixed-width text table, which is what the benchmark harness and
+``EXPERIMENTS.md`` use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.perf.sweep import SweepRecord
+
+__all__ = ["format_series_table", "format_figure_report", "records_to_series"]
+
+
+def records_to_series(
+    records: Iterable[SweepRecord],
+    x_key: str = "workload",
+    variant_key: str = "backend",
+    value_key: str = "wall_time",
+) -> Dict[str, Dict[str, float]]:
+    """Pivot sweep records into ``{x_value: {variant: value}}``."""
+    series: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        row = record.as_dict()
+        x_value = str(row[x_key])
+        variant = str(row[variant_key])
+        series.setdefault(x_value, {})[variant] = float(row[value_key])
+    return series
+
+
+def format_series_table(
+    series: Dict[str, Dict[str, float]],
+    x_label: str,
+    variants: Optional[Sequence[str]] = None,
+    value_format: str = "{:10.3f}",
+    value_label: str = "time (s)",
+) -> str:
+    """Format ``{x: {variant: value}}`` as a fixed-width table."""
+    if variants is None:
+        seen: List[str] = []
+        for row in series.values():
+            for name in row:
+                if name not in seen:
+                    seen.append(name)
+        variants = seen
+    header = f"{x_label:<16s}" + "".join(f"{v:>14s}" for v in variants)
+    lines = [f"[{value_label}]", header, "-" * len(header)]
+    for x_value, row in series.items():
+        cells = []
+        for variant in variants:
+            if variant in row:
+                cells.append(value_format.format(row[variant]).rjust(14))
+            else:
+                cells.append(f"{'-':>14s}")
+        lines.append(f"{x_value:<16s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_figure_report(
+    title: str,
+    records: Iterable[SweepRecord],
+    x_key: str = "workload",
+    variant_key: str = "backend",
+    value_key: str = "wall_time",
+    extra_lines: Optional[Sequence[str]] = None,
+) -> str:
+    """Full text report for one reproduced figure."""
+    records = list(records)
+    series = records_to_series(records, x_key=x_key, variant_key=variant_key, value_key=value_key)
+    lines = ["=" * 72, title, "=" * 72]
+    lines.append(format_series_table(series, x_label=x_key, value_label=value_key))
+    if extra_lines:
+        lines.append("")
+        lines.extend(extra_lines)
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Shared utilities: validation helpers, logging, array helpers."""
+
+from repro.utils.validation import (
+    ensure_positive,
+    ensure_shape,
+    ensure_dtype,
+    ensure_in_range,
+    ensure_unit_vector,
+    ValidationError,
+)
+from repro.utils.arrays import (
+    as_float64,
+    as_contiguous,
+    ravel_index_3d,
+    unravel_index_3d,
+    chunk_ranges,
+)
+
+__all__ = [
+    "ensure_positive",
+    "ensure_shape",
+    "ensure_dtype",
+    "ensure_in_range",
+    "ensure_unit_vector",
+    "ValidationError",
+    "as_float64",
+    "as_contiguous",
+    "ravel_index_3d",
+    "unravel_index_3d",
+    "chunk_ranges",
+]

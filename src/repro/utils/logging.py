@@ -1,0 +1,37 @@
+"""Logging helpers.
+
+A thin wrapper around :mod:`logging` so that library code gets namespaced
+loggers without configuring handlers (library best practice), while scripts
+and the CLI can call :func:`configure` once to get readable console output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Configure console logging for scripts/CLI (idempotent)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    return logger

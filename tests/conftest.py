@@ -1,0 +1,82 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures are deliberately small (a handful of detector rows, tens of wire
+positions) so that even the scalar reference backend runs in milliseconds;
+the accuracy-oriented integration tests use slightly larger session-scoped
+stacks that are generated once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.geometry.beam import Beam
+from repro.geometry.detector import Detector
+from repro.geometry.wire import Wire
+from repro.synthetic.forward_model import design_scan_for_depth_range, simulate_wire_scan
+from repro.synthetic.sample import DepthSourceField
+from repro.synthetic.workloads import make_benchmark_workload, make_point_source_stack
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_detector() -> Detector:
+    """A tiny canonical detector (6 rows x 5 cols)."""
+    return Detector(n_rows=6, n_cols=5, pixel_size=200.0, distance=510_000.0, center=(0.0, 0.0))
+
+
+@pytest.fixture()
+def default_wire() -> Wire:
+    """The default 26 um radius wire."""
+    return Wire()
+
+
+@pytest.fixture()
+def depth_grid() -> DepthGrid:
+    """Depth grid covering 0-100 um with 25 bins."""
+    return DepthGrid.from_range(0.0, 100.0, 25)
+
+
+@pytest.fixture()
+def small_scan(small_detector):
+    """A scan designed to depth-resolve 0-100 um on the small detector."""
+    return design_scan_for_depth_range(small_detector, (0.0, 100.0), n_points=61)
+
+
+@pytest.fixture()
+def point_source_stack(small_detector, small_scan):
+    """A stack with a single emitter at 40 um illuminating every pixel."""
+    depth_samples = np.linspace(0.0, 100.0, 64, endpoint=False) + 100.0 / 128.0
+    source = DepthSourceField.point_source(small_detector, 40.0, depth_samples, intensity=500.0)
+    stack = simulate_wire_scan(source, small_scan, small_detector, Beam())
+    return stack, source
+
+
+@pytest.fixture()
+def default_config(depth_grid) -> ReconstructionConfig:
+    """Default vectorised-backend configuration on the shared grid."""
+    return ReconstructionConfig(grid=depth_grid, backend="vectorized")
+
+
+# --------------------------------------------------------------------------- #
+# session-scoped, more expensive fixtures
+@pytest.fixture(scope="session")
+def session_point_stack():
+    """Medium point-source stack shared by accuracy tests."""
+    stack, source = make_point_source_stack(depth=40.0, n_rows=8, n_cols=8, n_positions=81)
+    return stack, source
+
+
+@pytest.fixture(scope="session")
+def session_workload():
+    """A small benchmark workload shared by backend-equivalence tests."""
+    return make_benchmark_workload("2.1G", scale=1.0 / 32768.0, seed=3)
+

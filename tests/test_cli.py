@@ -1,0 +1,77 @@
+"""Tests for the command-line entry points."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main_benchmark, main_generate, main_reconstruct
+from repro.io.image_stack import load_depth_resolved, load_wire_scan
+
+
+class TestGenerate:
+    def test_generate_grain_file(self, tmp_path, capsys):
+        out = tmp_path / "grains.h5lite"
+        code = main_generate([str(out), "--kind", "grains", "--rows", "16", "--cols", "16",
+                              "--positions", "41", "--grains", "2", "--seed", "3"])
+        assert code == 0
+        assert out.exists()
+        stack = load_wire_scan(out)
+        assert stack.shape == (41, 16, 16)
+        assert "grain boundaries" in capsys.readouterr().out
+
+    def test_generate_benchmark_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.h5lite"
+        code = main_generate([str(out), "--kind", "benchmark", "--size-label", "0.1MB",
+                              "--pixel-fraction", "0.5"])
+        assert code == 0
+        stack = load_wire_scan(out)
+        assert stack.pixel_mask is not None
+        assert "pixel fraction 50%" in capsys.readouterr().out
+
+
+class TestReconstruct:
+    def test_end_to_end_cli(self, tmp_path, capsys):
+        scan_path = tmp_path / "scan.h5lite"
+        main_generate([str(scan_path), "--kind", "benchmark", "--size-label", "0.05MB"])
+        out_path = tmp_path / "depth.h5lite"
+        text_path = tmp_path / "profiles.txt"
+        code = main_reconstruct([
+            str(scan_path), "-o", str(out_path), "--text", str(text_path),
+            "--depth-bins", "30", "--backend", "gpusim", "--layout", "flat1d",
+        ])
+        assert code == 0
+        assert out_path.exists() and text_path.exists()
+        result = load_depth_resolved(out_path)
+        assert result.grid.n_bins == 30
+        assert result.total_intensity() > 0
+        output = capsys.readouterr().out
+        assert "backend=gpusim" in output
+        assert "peaks at" in output
+
+    def test_cli_backend_choices_enforced(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_reconstruct([str(tmp_path / "x.h5lite"), "--backend", "quantum"])
+
+
+class TestBenchmarkCli:
+    def test_fig8_report(self, capsys):
+        code = main_benchmark(["fig8", "--scale", str(1.0 / 131072.0)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        for label in ("2.1G", "2.7G", "3.6G", "5.2G"):
+            assert label in out
+        assert "cpu_reference" in out and "gpusim" in out
+
+    def test_fig4_report(self, capsys):
+        code = main_benchmark(["fig4", "--scale", str(1.0 / 131072.0)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "flat1d" in out and "pointer3d" in out
+        assert "25%" in out and "100%" in out
+
+    def test_headline_report(self, capsys):
+        code = main_benchmark(["headline", "--scale", str(1.0 / 131072.0)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU/CPU time ratio" in out

@@ -1,0 +1,104 @@
+"""Unit tests for post-reconstruction analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    depth_resolution_estimate,
+    detect_grain_boundaries,
+    find_profile_peaks,
+    profile_fwhm,
+)
+from repro.core.depth_grid import DepthGrid
+from repro.core.reconstruction import DepthReconstructor
+from repro.core.result import DepthResolvedStack
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def grid():
+    return DepthGrid.from_range(0.0, 100.0, 50)
+
+
+def gaussian_profile(grid, center, sigma, height=1.0):
+    return height * np.exp(-0.5 * ((grid.centers - center) / sigma) ** 2)
+
+
+class TestFindPeaks:
+    def test_single_peak_found(self, grid):
+        profile = gaussian_profile(grid, 40.0, 5.0)
+        peaks = find_profile_peaks(profile, grid)
+        assert len(peaks) == 1
+        assert abs(peaks[0].depth - 40.0) <= grid.step
+
+    def test_two_peaks_found_in_order(self, grid):
+        profile = gaussian_profile(grid, 25.0, 4.0) + gaussian_profile(grid, 70.0, 4.0, height=0.8)
+        peaks = find_profile_peaks(profile, grid)
+        assert len(peaks) == 2
+        assert peaks[0].depth < peaks[1].depth
+        assert abs(peaks[0].depth - 25.0) <= grid.step
+        assert abs(peaks[1].depth - 70.0) <= grid.step
+
+    def test_small_peaks_filtered(self, grid):
+        profile = gaussian_profile(grid, 40.0, 4.0) + gaussian_profile(grid, 80.0, 3.0, height=0.02)
+        peaks = find_profile_peaks(profile, grid, min_relative_height=0.1)
+        assert len(peaks) == 1
+
+    def test_close_peaks_suppressed(self, grid):
+        profile = gaussian_profile(grid, 40.0, 2.0) + gaussian_profile(grid, 43.0, 2.0, height=0.9)
+        peaks = find_profile_peaks(profile, grid, min_separation_bins=5)
+        assert len(peaks) == 1
+
+    def test_empty_profile(self, grid):
+        assert find_profile_peaks(np.zeros(grid.n_bins), grid) == []
+
+    def test_shape_validated(self, grid):
+        with pytest.raises(ValidationError):
+            find_profile_peaks(np.zeros(10), grid)
+
+
+class TestFwhm:
+    def test_gaussian_fwhm(self, grid):
+        sigma = 6.0
+        profile = gaussian_profile(grid, 50.0, sigma)
+        peak = int(np.argmax(profile))
+        fwhm = profile_fwhm(profile, grid, peak)
+        expected = 2.0 * np.sqrt(2.0 * np.log(2.0)) * sigma
+        assert fwhm == pytest.approx(expected, rel=0.15)
+
+    def test_fwhm_none_when_peak_at_edge(self, grid):
+        profile = np.linspace(0.0, 1.0, grid.n_bins)  # monotonic, "peak" at the last bin
+        assert profile_fwhm(profile, grid, grid.n_bins - 1) is None
+
+    def test_index_validated(self, grid):
+        with pytest.raises(ValidationError):
+            profile_fwhm(np.zeros(grid.n_bins), grid, 200)
+
+
+class TestGrainBoundariesAndResolution:
+    def test_boundary_detected_for_step_profile(self, grid):
+        data = np.zeros((grid.n_bins, 2, 2))
+        step_bin = 25
+        data[:step_bin] = 2.0
+        data[step_bin:] = 0.5
+        result = DepthResolvedStack(data=data, grid=grid)
+        boundaries = detect_grain_boundaries(result)
+        assert boundaries.size >= 1
+        assert np.min(np.abs(boundaries - grid.index_to_depth(step_bin))) <= 4 * grid.step
+
+    def test_no_boundaries_for_flat_profile(self, grid):
+        result = DepthResolvedStack(data=np.ones((grid.n_bins, 2, 2)), grid=grid)
+        boundaries = detect_grain_boundaries(result, min_relative_change=0.5)
+        assert boundaries.size == 0
+
+    def test_resolution_estimate_on_reconstruction(self, point_source_stack, grid):
+        stack, _ = point_source_stack
+        result, _ = DepthReconstructor(grid=grid).reconstruct(stack)
+        resolution = depth_resolution_estimate(result)
+        # the point emitter should reconstruct to a narrow profile: a few bins
+        assert grid.step <= resolution <= 12 * grid.step
+
+    def test_resolution_requires_signal(self, grid):
+        empty = DepthResolvedStack(data=np.zeros((grid.n_bins, 2, 2)), grid=grid)
+        with pytest.raises(ValidationError):
+            depth_resolution_estimate(empty)

@@ -1,0 +1,187 @@
+"""Unit tests for ReconstructionConfig, WireScanStack and DepthResolvedStack."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DifferenceMode, ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.stack import WireScanStack
+from repro.geometry.beam import Beam
+from repro.geometry.detector import Detector
+from repro.geometry.scan import WireScan
+from repro.geometry.wire import WireEdge
+from repro.utils.validation import ValidationError
+
+from tests.helpers import make_tiny_stack
+
+
+@pytest.fixture()
+def grid():
+    return DepthGrid.from_range(0.0, 100.0, 20)
+
+
+class TestReconstructionConfig:
+    def test_defaults(self, grid):
+        config = ReconstructionConfig(grid=grid)
+        assert config.backend == "vectorized"
+        assert config.wire_edge is WireEdge.LEADING
+        assert config.difference_mode is DifferenceMode.SIGNED
+        assert config.layout == "flat1d"
+
+    def test_with_backend_returns_copy(self, grid):
+        config = ReconstructionConfig(grid=grid)
+        other = config.with_backend("gpusim", layout="pointer3d")
+        assert other.backend == "gpusim"
+        assert other.layout == "pointer3d"
+        assert config.backend == "vectorized"
+
+    def test_with_overrides(self, grid):
+        config = ReconstructionConfig(grid=grid).with_overrides(intensity_cutoff=1.5)
+        assert config.intensity_cutoff == 1.5
+
+    def test_invalid_layout(self, grid):
+        with pytest.raises(ValidationError):
+            ReconstructionConfig(grid=grid, layout="2d")
+
+    def test_invalid_cutoff(self, grid):
+        with pytest.raises(ValidationError):
+            ReconstructionConfig(grid=grid, intensity_cutoff=-1.0)
+
+    def test_invalid_rows_per_chunk(self, grid):
+        with pytest.raises(ValidationError):
+            ReconstructionConfig(grid=grid, rows_per_chunk=0)
+
+    def test_invalid_workers(self, grid):
+        with pytest.raises(ValidationError):
+            ReconstructionConfig(grid=grid, n_workers=0)
+
+    def test_grid_type_checked(self):
+        with pytest.raises(ValidationError):
+            ReconstructionConfig(grid="not a grid")
+
+
+class TestWireScanStack:
+    def test_tiny_stack_properties(self):
+        stack = make_tiny_stack(n_rows=3, n_cols=2, n_positions=9)
+        assert stack.shape == (9, 3, 2)
+        assert stack.n_steps == 8
+        assert stack.nbytes == 9 * 3 * 2 * 8
+        assert stack.active_pixel_fraction == 1.0
+
+    def test_differences_shape_and_values(self):
+        stack = make_tiny_stack(n_positions=9)
+        diffs = stack.differences()
+        assert diffs.shape == (8, stack.n_rows, stack.n_cols)
+        np.testing.assert_allclose(diffs, stack.images[:-1] - stack.images[1:])
+
+    def test_pixel_mask_fraction(self):
+        stack = make_tiny_stack(n_rows=4, n_cols=4)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:2] = True
+        masked = stack.with_pixel_mask(mask)
+        assert np.isclose(masked.active_pixel_fraction, 0.5)
+        np.testing.assert_array_equal(masked.effective_mask(), mask)
+
+    def test_effective_mask_default_all_true(self):
+        stack = make_tiny_stack()
+        assert stack.effective_mask().all()
+
+    def test_row_slice_geometry_consistent(self):
+        stack = make_tiny_stack(n_rows=6, n_cols=3, n_positions=9)
+        sub = stack.row_slice(2, 5)
+        assert sub.n_rows == 3
+        # the sliced detector rows must be at the same lab coordinates as the
+        # corresponding rows of the full detector
+        np.testing.assert_allclose(sub.detector.row_yz(), stack.detector.row_yz()[2:5], atol=1e-9)
+        np.testing.assert_allclose(sub.images, stack.images[:, 2:5, :])
+
+    def test_row_slice_invalid(self):
+        stack = make_tiny_stack(n_rows=4)
+        with pytest.raises(ValidationError):
+            stack.row_slice(3, 2)
+
+    def test_shape_mismatch_rejected(self):
+        detector = Detector(n_rows=4, n_cols=4)
+        scan = WireScan.linear(n_points=5)
+        with pytest.raises(ValidationError):
+            WireScanStack(images=np.zeros((5, 3, 4)), scan=scan, detector=detector, beam=Beam())
+
+    def test_positions_mismatch_rejected(self):
+        detector = Detector(n_rows=3, n_cols=4)
+        scan = WireScan.linear(n_points=5)
+        with pytest.raises(ValidationError):
+            WireScanStack(images=np.zeros((6, 3, 4)), scan=scan, detector=detector, beam=Beam())
+
+    def test_mask_shape_rejected(self):
+        stack = make_tiny_stack(n_rows=3, n_cols=2)
+        with pytest.raises(ValidationError):
+            stack.with_pixel_mask(np.ones((2, 2), dtype=bool))
+
+
+class TestDepthResolvedStack:
+    def test_basic_accessors(self, grid):
+        data = np.zeros((20, 3, 4))
+        data[5, 1, 2] = 7.0
+        result = DepthResolvedStack(data=data, grid=grid)
+        assert result.shape == (20, 3, 4)
+        assert result.total_intensity() == 7.0
+        np.testing.assert_allclose(result.depth_profile(1, 2)[5], 7.0)
+        assert result.integrated_profile()[5] == 7.0
+
+    def test_image_at_depth(self, grid):
+        data = np.zeros((20, 2, 2))
+        data[3] = 1.0
+        result = DepthResolvedStack(data=data, grid=grid)
+        depth = grid.index_to_depth(3)
+        np.testing.assert_allclose(result.image_at_depth(depth), 1.0)
+        with pytest.raises(ValidationError):
+            result.image_at_depth(1e6)
+
+    def test_dominant_depth_nan_for_dark_pixels(self, grid):
+        data = np.zeros((20, 2, 2))
+        data[4, 0, 0] = 3.0
+        result = DepthResolvedStack(data=data, grid=grid)
+        dominant = result.dominant_depth()
+        assert np.isclose(dominant[0, 0], grid.index_to_depth(4))
+        assert np.isnan(dominant[1, 1])
+
+    def test_centroid_depth(self, grid):
+        data = np.zeros((20, 1, 1))
+        data[4, 0, 0] = 1.0
+        data[6, 0, 0] = 1.0
+        result = DepthResolvedStack(data=data, grid=grid)
+        expected = 0.5 * (grid.index_to_depth(4) + grid.index_to_depth(6))
+        assert np.isclose(result.centroid_depth()[0, 0], expected)
+
+    def test_addition(self, grid):
+        a = DepthResolvedStack(data=np.ones((20, 2, 2)), grid=grid)
+        b = DepthResolvedStack(data=np.ones((20, 2, 2)), grid=grid)
+        total = a + b
+        assert total.total_intensity() == 2 * a.total_intensity()
+
+    def test_addition_mismatched_grid_rejected(self, grid):
+        a = DepthResolvedStack(data=np.ones((20, 2, 2)), grid=grid)
+        other_grid = DepthGrid.from_range(0.0, 50.0, 20)
+        b = DepthResolvedStack(data=np.ones((20, 2, 2)), grid=other_grid)
+        with pytest.raises(ValidationError):
+            _ = a + b
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValidationError):
+            DepthResolvedStack(data=np.zeros((19, 2, 2)), grid=grid)
+
+
+class TestReconstructionReport:
+    def test_transfer_fraction(self):
+        report = ReconstructionReport(backend="x", compute_time=3.0, transfer_time=1.0)
+        assert np.isclose(report.transfer_fraction, 0.25)
+
+    def test_transfer_fraction_zero_when_no_time(self):
+        assert ReconstructionReport(backend="x").transfer_fraction == 0.0
+
+    def test_summary_contains_backend_and_notes(self):
+        report = ReconstructionReport(backend="gpusim", notes=["hello"])
+        text = report.summary()
+        assert "gpusim" in text
+        assert "hello" in text

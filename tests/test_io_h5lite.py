@@ -1,0 +1,191 @@
+"""Unit tests for the h5lite container format."""
+
+import numpy as np
+import pytest
+
+from repro.io.h5lite import H5LiteError, H5LiteFile
+
+
+class TestWriteRead:
+    def test_dataset_roundtrip(self, tmp_path):
+        path = tmp_path / "a.h5lite"
+        data = np.random.default_rng(0).random((5, 4, 3))
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("cube", data)
+        with H5LiteFile(path, "r") as fh:
+            np.testing.assert_array_equal(fh["cube"][...], data)
+
+    def test_multiple_dtypes(self, tmp_path):
+        path = tmp_path / "dtypes.h5lite"
+        arrays = {
+            "f64": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "f32": np.arange(6, dtype=np.float32),
+            "i64": np.arange(6, dtype=np.int64),
+            "u8": np.arange(6, dtype=np.uint8),
+            "bool": np.array([True, False, True]),
+        }
+        with H5LiteFile(path, "w") as fh:
+            for name, arr in arrays.items():
+                fh.create_dataset(name, arr)
+        with H5LiteFile(path, "r") as fh:
+            for name, arr in arrays.items():
+                out = fh[name][...]
+                assert out.dtype == arr.dtype
+                np.testing.assert_array_equal(out, arr)
+
+    def test_groups_and_nested_paths(self, tmp_path):
+        path = tmp_path / "groups.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            grp = fh.create_group("entry/data")
+            grp.create_dataset("images", np.ones((2, 2)))
+            fh.create_dataset("entry/extra/values", np.arange(3))
+        with H5LiteFile(path, "r") as fh:
+            assert "entry" in fh
+            assert "entry/data/images" in fh
+            np.testing.assert_array_equal(fh["entry/data/images"][...], np.ones((2, 2)))
+            np.testing.assert_array_equal(fh["entry"]["extra/values"][...], np.arange(3))
+
+    def test_attributes_roundtrip(self, tmp_path):
+        path = tmp_path / "attrs.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.attrs["title"] = "test"
+            grp = fh.create_group("g")
+            grp.attrs["count"] = 3
+            grp.attrs["values"] = [1.5, 2.5]
+            ds = grp.create_dataset("d", np.zeros(2), attrs={"unit": "um"})
+            assert ds.attrs["unit"] == "um"
+        with H5LiteFile(path, "r") as fh:
+            assert fh.attrs["title"] == "test"
+            assert fh["g"].attrs["count"] == 3
+            assert fh["g"].attrs["values"] == [1.5, 2.5]
+            assert fh["g/d"].attrs["unit"] == "um"
+
+    def test_numpy_scalar_attributes_serialised(self, tmp_path):
+        path = tmp_path / "npattrs.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.attrs["n"] = np.int64(5)
+            fh.attrs["x"] = np.float64(2.5)
+            fh.create_dataset("d", np.zeros(1))
+        with H5LiteFile(path, "r") as fh:
+            assert fh.attrs["n"] == 5
+            assert fh.attrs["x"] == 2.5
+
+    def test_scalar_dataset(self, tmp_path):
+        path = tmp_path / "scalar.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("value", np.float64(3.25))
+        with H5LiteFile(path, "r") as fh:
+            assert float(fh["value"][...]) == 3.25
+
+
+class TestChunkedAccess:
+    def test_partial_reads_match_full(self, tmp_path):
+        path = tmp_path / "chunked.h5lite"
+        data = np.random.default_rng(1).random((11, 3, 4))
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("cube", data, chunk_rows=4)
+        with H5LiteFile(path, "r") as fh:
+            ds = fh["cube"]
+            np.testing.assert_array_equal(ds[...], data)
+            np.testing.assert_array_equal(ds[2:7], data[2:7])
+            np.testing.assert_array_equal(ds[8:], data[8:])
+            np.testing.assert_array_equal(ds[3], data[3])
+
+    def test_partial_read_unchunked(self, tmp_path):
+        path = tmp_path / "contig.h5lite"
+        data = np.arange(24, dtype=np.float64).reshape(6, 4)
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", data)
+        with H5LiteFile(path, "r") as fh:
+            np.testing.assert_array_equal(fh["d"][1:3], data[1:3])
+
+    def test_empty_slice(self, tmp_path):
+        path = tmp_path / "empty.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", np.arange(10.0), chunk_rows=3)
+        with H5LiteFile(path, "r") as fh:
+            assert fh["d"][5:5].shape == (0,)
+
+    def test_strided_slice_rejected(self, tmp_path):
+        path = tmp_path / "stride.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", np.arange(10.0))
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(H5LiteError):
+                fh["d"][::2]
+
+    def test_dataset_metadata(self, tmp_path):
+        path = tmp_path / "meta.h5lite"
+        data = np.zeros((7, 2))
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", data, chunk_rows=2)
+        with H5LiteFile(path, "r") as fh:
+            ds = fh["d"]
+            assert ds.shape == (7, 2)
+            assert ds.ndim == 2
+            assert ds.size == 14
+            assert ds.nbytes == 14 * 8
+            assert ds.chunk_rows == 2
+
+
+class TestErrors:
+    def test_bad_mode(self, tmp_path):
+        with pytest.raises(H5LiteError):
+            H5LiteFile(tmp_path / "x.h5lite", "a")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(H5LiteError):
+            H5LiteFile(tmp_path / "missing.h5lite", "r")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.h5lite"
+        path.write_bytes(b"NOTMAGIC" + b"\0" * 16)
+        with pytest.raises(H5LiteError):
+            H5LiteFile(path, "r")
+
+    def test_write_to_readonly(self, tmp_path):
+        path = tmp_path / "ro.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", np.zeros(1))
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(H5LiteError):
+                fh.create_dataset("e", np.zeros(1))
+
+    def test_duplicate_dataset_rejected(self, tmp_path):
+        with H5LiteFile(tmp_path / "dup.h5lite", "w") as fh:
+            fh.create_dataset("d", np.zeros(1))
+            with pytest.raises(H5LiteError):
+                fh.create_dataset("d", np.zeros(1))
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "k.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", np.zeros(1))
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(KeyError):
+                fh["nope"]
+
+    def test_dataset_used_as_group_rejected(self, tmp_path):
+        path = tmp_path / "ds.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("d", np.zeros(1))
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(H5LiteError):
+                fh["d/sub"]
+
+    def test_invalid_path_component(self, tmp_path):
+        with H5LiteFile(tmp_path / "p.h5lite", "w") as fh:
+            with pytest.raises(H5LiteError):
+                fh.create_dataset("../evil", np.zeros(1))
+
+    def test_group_keys_and_visit(self, tmp_path):
+        path = tmp_path / "tree.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("a/x", np.zeros(1))
+            fh.create_dataset("a/y", np.zeros(1))
+            fh.create_dataset("b", np.zeros(1))
+        with H5LiteFile(path, "r") as fh:
+            assert set(fh.root.keys()) == {"a", "b"}
+            names = [obj.name for obj in fh.root.visit()]
+            assert "/a/x" in names and "/a/y" in names and "/b" in names
+            assert set(fh["a"].datasets()) == {"x", "y"}
