@@ -1,0 +1,97 @@
+"""Experiment E5 — out-of-core streaming and multi-file batch throughput.
+
+The paper streams the image cube through a memory-limited *device*; the
+engine extends the same plan → execute → reduce access pattern to *host*
+memory (``config.streaming``) and to many files at once
+(``reconstruct_many``).  This benchmark measures what those modes cost and
+buy:
+
+* streamed reconstruction must be within a modest factor of the in-memory
+  path on data that fits in RAM (the streaming tax is windowed file reads);
+* a batch scheduled on several workers must beat the same batch on one
+  worker (per-file isolation must not serialise the pool).
+"""
+
+import pytest
+
+from _bench_utils import SeriesCollector
+from repro.core.config import ReconstructionConfig
+from repro.core.pipeline import reconstruct_file, reconstruct_many
+from repro.io.image_stack import save_wire_scan
+
+N_BATCH_FILES = 4
+
+collector = SeriesCollector("Streaming + batch: wall seconds", x_label="mode")
+_times = {}
+
+
+@pytest.fixture(scope="module")
+def scan_files(tmp_path_factory, workload_cache):
+    """A handful of wire-scan files sharing one synthetic workload."""
+    workload = workload_cache("2.1G")
+    root = tmp_path_factory.mktemp("streaming_batch")
+    paths = []
+    for index in range(N_BATCH_FILES):
+        path = root / f"scan_{index}.h5lite"
+        save_wire_scan(path, workload.stack)
+        paths.append(str(path))
+    # one discarded run so first-touch costs (imports, allocator warm-up, file
+    # cache) do not land on whichever benchmark happens to run first
+    reconstruct_file(paths[0], ReconstructionConfig(grid=workload.grid, backend="vectorized"))
+    return workload, paths
+
+
+def _config(workload, **overrides):
+    return ReconstructionConfig(grid=workload.grid, backend="vectorized", **overrides)
+
+
+def test_in_memory_file(benchmark, scan_files):
+    workload, paths = scan_files
+    config = _config(workload)
+    seconds = benchmark.pedantic(
+        lambda: reconstruct_file(paths[0], config), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _times["in-memory"] = benchmark.stats.stats.mean
+    collector.add("file (in-memory)", "vectorized", _times["in-memory"])
+
+
+def test_streamed_file(benchmark, scan_files):
+    workload, paths = scan_files
+    config = _config(workload, streaming=True, rows_per_chunk=4)
+    benchmark.pedantic(
+        lambda: reconstruct_file(paths[0], config), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _times["streamed"] = benchmark.stats.stats.mean
+    collector.add("file (streamed)", "vectorized", _times["streamed"])
+
+
+@pytest.mark.parametrize("max_workers", [1, N_BATCH_FILES])
+def test_batch_throughput(benchmark, scan_files, max_workers):
+    workload, paths = scan_files
+    config = _config(workload, streaming=True, rows_per_chunk=4)
+    batch = benchmark.pedantic(
+        lambda: reconstruct_many(paths, config, max_workers=max_workers, keep_results=False),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert batch.n_ok == N_BATCH_FILES and batch.n_failed == 0
+    _times[f"batch x{max_workers}"] = batch.wall_time
+    collector.add(f"batch of {N_BATCH_FILES} (x{max_workers})", "vectorized", batch.wall_time)
+    benchmark.extra_info["throughput_files_per_second"] = batch.throughput_files_per_second
+
+
+def test_streaming_batch_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "in-memory" not in _times or "streamed" not in _times:
+        pytest.skip("file benchmarks did not run (run the whole file)")
+    extra = [
+        "",
+        f"streaming tax: {_times['streamed'] / _times['in-memory']:.2f}x the in-memory wall time",
+    ]
+    if f"batch x{N_BATCH_FILES}" in _times and "batch x1" in _times:
+        extra.append(
+            f"batch speed-up (x{N_BATCH_FILES} vs x1 workers): "
+            f"{_times['batch x1'] / _times[f'batch x{N_BATCH_FILES}']:.2f}x"
+        )
+    print(collector.report(extra))

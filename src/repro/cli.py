@@ -1,13 +1,17 @@
 """Command-line entry points.
 
-Three small tools mirror the original workflow:
+Four small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
     truth — the stand-in for acquiring data at the beamline.
 ``repro-reconstruct``
     Run the depth reconstruction on a wire-scan file and write the
-    depth-resolved output (the original program's job).
+    depth-resolved output (the original program's job).  ``--streaming``
+    selects the out-of-core mode that never loads the full cube.
+``repro-batch``
+    Schedule many wire-scan files across a worker pool and print the
+    aggregated batch report.
 ``repro-benchmark``
     Run the paper's figure sweeps from the command line.
 """
@@ -22,11 +26,41 @@ import numpy as np
 
 from repro.core.config import DifferenceMode, ReconstructionConfig
 from repro.core.depth_grid import DepthGrid
-from repro.core.pipeline import reconstruct_file
+from repro.core.pipeline import reconstruct_file, reconstruct_many
 from repro.geometry.wire import WireEdge
 from repro.utils.logging import configure as configure_logging
 
-__all__ = ["main_generate", "main_reconstruct", "main_benchmark"]
+__all__ = ["main_generate", "main_reconstruct", "main_batch", "main_benchmark"]
+
+
+def _add_reconstruction_args(parser: argparse.ArgumentParser) -> None:
+    """Reconstruction-configuration flags shared by the single-file and batch tools."""
+    parser.add_argument("--depth-start", type=float, default=0.0)
+    parser.add_argument("--depth-stop", type=float, default=100.0)
+    parser.add_argument("--depth-bins", type=int, default=50)
+    parser.add_argument("--backend", default="vectorized",
+                        choices=["cpu_reference", "vectorized", "gpusim", "multiprocess"])
+    parser.add_argument("--layout", default="flat1d", choices=["flat1d", "pointer3d"])
+    parser.add_argument("--rows-per-chunk", type=int, default=None)
+    parser.add_argument("--edge", default="leading", choices=["leading", "trailing"])
+    parser.add_argument("--difference-mode", default="signed", choices=["signed", "rectified"])
+    parser.add_argument("--cutoff", type=float, default=0.0)
+    parser.add_argument("--streaming", action="store_true",
+                        help="stream row chunks from disk instead of loading the cube")
+
+
+def _config_from_args(args: argparse.Namespace) -> ReconstructionConfig:
+    """Build a :class:`ReconstructionConfig` from the shared CLI flags."""
+    return ReconstructionConfig(
+        grid=DepthGrid.from_range(args.depth_start, args.depth_stop, args.depth_bins),
+        backend=args.backend,
+        layout=args.layout,
+        rows_per_chunk=args.rows_per_chunk,
+        wire_edge=WireEdge.LEADING if args.edge == "leading" else WireEdge.TRAILING,
+        difference_mode=DifferenceMode(args.difference_mode),
+        intensity_cutoff=args.cutoff,
+        streaming=args.streaming,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -85,28 +119,11 @@ def main_reconstruct(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("input", help="input wire-scan .h5lite file")
     parser.add_argument("-o", "--output", help="output depth-resolved .h5lite file")
     parser.add_argument("--text", help="optional text output of depth profiles")
-    parser.add_argument("--depth-start", type=float, default=0.0)
-    parser.add_argument("--depth-stop", type=float, default=100.0)
-    parser.add_argument("--depth-bins", type=int, default=50)
-    parser.add_argument("--backend", default="vectorized",
-                        choices=["cpu_reference", "vectorized", "gpusim", "multiprocess"])
-    parser.add_argument("--layout", default="flat1d", choices=["flat1d", "pointer3d"])
-    parser.add_argument("--rows-per-chunk", type=int, default=None)
-    parser.add_argument("--edge", default="leading", choices=["leading", "trailing"])
-    parser.add_argument("--difference-mode", default="signed", choices=["signed", "rectified"])
-    parser.add_argument("--cutoff", type=float, default=0.0)
+    _add_reconstruction_args(parser)
     args = parser.parse_args(argv)
     configure_logging()
 
-    config = ReconstructionConfig(
-        grid=DepthGrid.from_range(args.depth_start, args.depth_stop, args.depth_bins),
-        backend=args.backend,
-        layout=args.layout,
-        rows_per_chunk=args.rows_per_chunk,
-        wire_edge=WireEdge.LEADING if args.edge == "leading" else WireEdge.TRAILING,
-        difference_mode=DifferenceMode(args.difference_mode),
-        intensity_cutoff=args.cutoff,
-    )
+    config = _config_from_args(args)
     outcome = reconstruct_file(args.input, config, output_path=args.output, text_path=args.text)
     print(outcome.report.summary())
     integrated = outcome.result.integrated_profile()
@@ -116,6 +133,36 @@ def main_reconstruct(argv: Optional[Sequence[str]] = None) -> int:
         f"({integrated[peak_bin]:.3g} intensity)"
     )
     return 0
+
+
+# --------------------------------------------------------------------------- #
+def main_batch(argv: Optional[Sequence[str]] = None) -> int:
+    """Reconstruct a batch of wire-scan files on a worker pool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="Depth-reconstruct many wire-scan h5lite files concurrently.",
+    )
+    parser.add_argument("inputs", nargs="+", help="input wire-scan .h5lite files")
+    parser.add_argument("-d", "--output-dir",
+                        help="directory for per-file depth-resolved outputs (<stem>_depth.h5lite)")
+    parser.add_argument("-j", "--max-workers", type=int, default=None,
+                        help="concurrent reconstructions (default: min(4, n_files))")
+    _add_reconstruction_args(parser)
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.perf.reporting import format_batch_table
+
+    config = _config_from_args(args)
+    batch = reconstruct_many(
+        args.inputs,
+        config,
+        max_workers=args.max_workers,
+        output_dir=args.output_dir,
+        keep_results=False,
+    )
+    print(format_batch_table(batch))
+    return 0 if batch.n_failed == 0 else 1
 
 
 # --------------------------------------------------------------------------- #

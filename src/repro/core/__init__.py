@@ -28,6 +28,15 @@ from repro.core.trapezoid import (
 from repro.core.layouts import Flat1DLayout, Pointer3DLayout, get_layout
 from repro.core.chunking import ChunkPlan, plan_row_chunks
 from repro.core.histogram import DepthHistogram
+from repro.core.engine import (
+    ChunkExecutor,
+    ChunkSource,
+    ExecutionPlan,
+    StackChunkSource,
+    build_execution_plan,
+    execute,
+    execute_backend,
+)
 from repro.core.reconstruction import DepthReconstructor
 from repro.core.backends import available_backends, get_backend
 from repro.core.analysis import (
@@ -57,6 +66,13 @@ __all__ = [
     "ChunkPlan",
     "plan_row_chunks",
     "DepthHistogram",
+    "ChunkExecutor",
+    "ChunkSource",
+    "ExecutionPlan",
+    "StackChunkSource",
+    "build_execution_plan",
+    "execute",
+    "execute_backend",
     "DepthReconstructor",
     "available_backends",
     "get_backend",

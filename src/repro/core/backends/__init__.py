@@ -13,13 +13,17 @@ strategies:
 
 All backends must produce numerically identical results (the test-suite
 cross-checks them); only their performance characteristics differ.
+
+Every backend routes through the shared execution engine
+(:mod:`repro.core.engine`) and contributes only its per-chunk compute as a
+:class:`~repro.core.engine.ChunkExecutor`.
 """
 
 from repro.core.backends.base import Backend, available_backends, get_backend, register_backend
-from repro.core.backends.cpu_reference import CpuReferenceBackend
-from repro.core.backends.vectorized import VectorizedBackend
-from repro.core.backends.gpusim import GpuSimBackend
-from repro.core.backends.multiprocess import MultiprocessBackend
+from repro.core.backends.cpu_reference import CpuReferenceBackend, CpuReferenceExecutor
+from repro.core.backends.vectorized import VectorizedBackend, VectorizedExecutor
+from repro.core.backends.gpusim import GpuSimBackend, GpuSimExecutor
+from repro.core.backends.multiprocess import MultiprocessBackend, MultiprocessExecutor
 
 __all__ = [
     "Backend",
@@ -27,7 +31,11 @@ __all__ = [
     "get_backend",
     "register_backend",
     "CpuReferenceBackend",
+    "CpuReferenceExecutor",
     "VectorizedBackend",
+    "VectorizedExecutor",
     "GpuSimBackend",
+    "GpuSimExecutor",
     "MultiprocessBackend",
+    "MultiprocessExecutor",
 ]

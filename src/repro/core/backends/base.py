@@ -1,4 +1,12 @@
-"""Backend interface and registry."""
+"""Backend interface and registry.
+
+Since the engine refactor a backend is a thin shell: it names itself in the
+registry and supplies a :class:`~repro.core.engine.ChunkExecutor` with the
+per-chunk compute.  The plan → execute → reduce → report control flow lives
+once in :mod:`repro.core.engine`; ``Backend.reconstruct`` just wraps an
+in-memory stack in a :class:`~repro.core.engine.StackChunkSource` and runs
+the engine.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro.core.config import ReconstructionConfig
+from repro.core.engine import ChunkExecutor, StackChunkSource, execute
 from repro.core.kernels import KernelContext
 from repro.core.result import DepthResolvedStack, ReconstructionReport
 from repro.core.stack import WireScanStack
@@ -46,59 +55,65 @@ def build_kernel_context(
     config: ReconstructionConfig,
     row_start: int = 0,
     row_stop: Optional[int] = None,
+    background: Optional[np.ndarray] = None,
 ) -> KernelContext:
     """Assemble the kernel inputs for detector rows ``row_start:row_stop``.
 
-    This is the host-side preparation the original program performs before
-    each kernel launch: slice the image cube, look up the pixel-edge
-    coordinates of the selected rows, and collect the wire positions.
+    A convenience wrapper over :func:`repro.core.engine.build_chunk_context`
+    for in-memory stacks — the host-side preparation performed before each
+    kernel launch: slice the image cube, look up the pixel-edge coordinates
+    of the selected rows, and collect the wire positions.
+
+    When ``config.subtract_background`` is set the per-image background is
+    the median over the **whole** image, not over the chunk's rows — so every
+    chunk (and therefore every backend, however it chunks) subtracts the same
+    levels.  Pass *background* (shape ``(n_positions, 1, 1)``) to reuse
+    levels computed once per run, e.g. by
+    :func:`repro.core.engine.compute_stack_background`.
     """
+    from repro.core.engine import build_chunk_context, compute_stack_background
+
+    source = StackChunkSource(stack)
     row_stop = stack.n_rows if row_stop is None else row_stop
-    if not (0 <= row_start < row_stop <= stack.n_rows):
-        raise ValidationError(f"invalid row range [{row_start}, {row_stop})")
-    rows = np.arange(row_start, row_stop)
-    back_edges, front_edges = stack.detector.row_edges_yz(rows)
-    images = stack.images[:, row_start:row_stop, :]
-    if config.subtract_background:
-        background = np.median(images, axis=(1, 2), keepdims=True)
-        images = images - background
-    mask = None
-    if stack.pixel_mask is not None:
-        mask = stack.pixel_mask[row_start:row_stop, :]
-    return KernelContext(
-        images=images,
-        back_edge_yz=back_edges,
-        front_edge_yz=front_edges,
-        wire_positions_yz=stack.scan.positions,
-        wire_radius=stack.scan.wire.radius,
-        grid=config.grid,
-        wire_edge=config.wire_edge,
-        difference_mode=config.difference_mode,
-        intensity_cutoff=config.intensity_cutoff,
-        mask=mask,
+    if config.subtract_background and background is None:
+        background = compute_stack_background(source, config)
+    return build_chunk_context(
+        source,
+        config,
+        row_start,
+        row_stop,
+        background=background if config.subtract_background else None,
     )
 
 
 class Backend(abc.ABC):
-    """Abstract reconstruction backend."""
+    """Abstract reconstruction backend (a named executor factory)."""
 
     #: registry name; subclasses must override
     name: str = ""
 
     @abc.abstractmethod
+    def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
+        """Build the per-run executor carrying this backend's chunk compute."""
+
     def reconstruct(
         self, stack: WireScanStack, config: ReconstructionConfig
     ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-        """Reconstruct *stack* according to *config*.
+        """Reconstruct *stack* according to *config* through the shared engine.
 
         Returns the depth-resolved stack and a timing/accounting report.
         """
+        return execute(StackChunkSource(stack), config, self.make_executor(config))
 
     # ------------------------------------------------------------------ #
     @staticmethod
     def count_active_elements(stack: WireScanStack, config: ReconstructionConfig) -> int:
-        """Number of (pixel, step) elements that pass the mask and cutoff."""
-        diffs = stack.differences()
+        """Number of (pixel, step) elements that pass the mask and cutoff.
+
+        Uses the stack's cached difference cube, so repeated calls (e.g. one
+        per backend in a comparison run) do not recompute it.
+        """
+        diffs = stack.differences(cached=True)
         active = np.abs(diffs) > config.intensity_cutoff
         if stack.pixel_mask is not None:
             active &= stack.pixel_mask[None, :, :]

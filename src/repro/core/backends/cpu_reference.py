@@ -5,23 +5,39 @@ arithmetic, exactly as the original single-threaded CPU program does.  It is
 deliberately not vectorised: it is the baseline every speed-up in the paper
 (and in our benchmarks) is measured against, and it doubles as the ground
 truth the faster backends are validated against.
+
+The chunk loop, accounting and reporting live in the shared engine; this
+module only supplies the scalar per-chunk compute.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from repro.core.backends.base import Backend, build_kernel_context, register_backend
+from repro.core.backends.base import Backend, register_backend
 from repro.core.config import ReconstructionConfig
-from repro.core.histogram import DepthHistogram
-from repro.core.kernels import depth_resolve_chunk_scalar
-from repro.core.result import DepthResolvedStack, ReconstructionReport
-from repro.core.stack import WireScanStack
+from repro.core.engine import ChunkExecutor
+from repro.core.kernels import KernelContext, depth_resolve_chunk_scalar
 
-__all__ = ["CpuReferenceBackend"]
+__all__ = ["CpuReferenceBackend", "CpuReferenceExecutor"]
+
+
+class CpuReferenceExecutor(ChunkExecutor):
+    """Scalar triple loop over each chunk's elements."""
+
+    name = "cpu_reference"
+
+    def execute_chunk(
+        self, ctx: KernelContext, row_start: int, row_stop: int
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        partial = np.zeros((ctx.grid.n_bins, ctx.n_rows, ctx.n_cols), dtype=np.float64)
+        depth_resolve_chunk_scalar(ctx, partial)
+        yield row_start, partial
+
+    def notes(self) -> List[str]:
+        return ["scalar per-element loop (original CPU program)"]
 
 
 @register_backend
@@ -30,26 +46,5 @@ class CpuReferenceBackend(Backend):
 
     name = "cpu_reference"
 
-    def reconstruct(
-        self, stack: WireScanStack, config: ReconstructionConfig
-    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-        start = time.perf_counter()
-        ctx = build_kernel_context(stack, config)
-        histogram = DepthHistogram(config.grid, stack.n_rows, stack.n_cols)
-        depth_resolve_chunk_scalar(ctx, histogram.data)
-        wall = time.perf_counter() - start
-
-        report = ReconstructionReport(
-            backend=self.name,
-            wall_time=wall,
-            compute_time=wall,
-            n_chunks=1,
-            n_kernel_launches=0,
-            n_threads_launched=0,
-            n_active_pixels=self.count_active_elements(stack, config),
-            n_steps=stack.n_steps,
-            layout=None,
-            notes=["scalar per-element loop (original CPU program)"],
-        )
-        result = histogram.to_result(metadata={**stack.metadata, "backend": self.name})
-        return result, report
+    def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
+        return CpuReferenceExecutor()

@@ -8,35 +8,179 @@ Follows the structure of the original CUDA program step by step:
    geometry tables and the output slab host→device;
 3. launch the ``setTwo`` kernel over a ``(cols, rows, steps)`` thread
    lattice;
-4. copy the depth-resolved slab back device→host and stitch it into the full
-   output;
+4. copy the depth-resolved slab back device→host and hand it to the engine,
+   which stitches it into the full output;
 5. free the chunk's allocations and continue with the next rows.
 
-The report separates modelled transfer time from modelled kernel time, which
-is what the Fig. 4 layout comparison and the scalability argument of
-Figs. 8/9 are about.
+The chunk loop itself lives in the shared engine; this module supplies the
+per-chunk upload → launch → download compute and keeps the transfer/kernel
+accounting as executor hooks.  The report separates modelled transfer time
+from modelled kernel time, which is what the Fig. 4 layout comparison and
+the scalability argument of Figs. 8/9 are about.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.backends.base import Backend, build_kernel_context, register_backend
-from repro.core.chunking import plan_row_chunks
+from repro.core.backends.base import Backend, register_backend
 from repro.core.config import ReconstructionConfig
-from repro.core.histogram import DepthHistogram
-from repro.core.kernels import make_set_two_kernel
+from repro.core.engine import ChunkExecutor, ChunkSource, ExecutionPlan, build_execution_plan
+from repro.core.kernels import KernelContext, make_set_two_kernel
 from repro.core.layouts import get_layout
-from repro.core.result import DepthResolvedStack, ReconstructionReport
-from repro.core.stack import WireScanStack
 from repro.cudasim.device import Device, DeviceProperties, TESLA_M2070
 from repro.cudasim.kernel import LaunchConfig, launch
 from repro.cudasim.transfer import memcpy_device_to_host, memcpy_host_to_device
 
-__all__ = ["GpuSimBackend"]
+__all__ = ["GpuSimBackend", "GpuSimExecutor"]
+
+
+class GpuSimExecutor(ChunkExecutor):
+    """Upload → launch → download execution of each chunk on the simulated device."""
+
+    name = "gpusim"
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        device_properties: DeviceProperties = TESLA_M2070,
+        block_dim: Tuple[int, int, int] = (32, 4, 8),
+        launch_mode: str = "vectorized",
+    ):
+        self._external_device = device
+        self._device_properties = device_properties
+        self.block_dim = block_dim
+        self.launch_mode = launch_mode
+        self.device: Optional[Device] = None
+        self._layout = None
+        self._kernel = None
+        self._h2d_bytes = 0
+        self._d2h_bytes = 0
+        self._n_launches = 0
+        self._n_threads = 0
+
+    # ------------------------------------------------------------------ #
+    def _make_device(self, config: ReconstructionConfig) -> Device:
+        if self._external_device is not None:
+            self._external_device.reset_clock()
+            return self._external_device
+        return Device(self._device_properties, memory_limit_bytes=config.device_memory_limit)
+
+    def plan(self, source: ChunkSource, config: ReconstructionConfig) -> ExecutionPlan:
+        """Chunks sized to the simulated device memory (the Fig. 2 constraint)."""
+        self.device = self._make_device(config)
+        self._layout = get_layout(config.layout)
+        self._kernel = make_set_two_kernel(
+            extra_flops_per_thread=self._layout.index_arithmetic_flops
+        )
+        return build_execution_plan(
+            source,
+            config,
+            device_memory_bytes=self.device.memory.capacity_bytes,
+            strategy="gpusim",
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _batch_context(ctx: KernelContext, device_images: np.ndarray, step_start: int, step_stop: int):
+        """Kernel context restricted to wire steps ``step_start:step_stop``.
+
+        The image view covers positions ``step_start .. step_stop`` inclusive
+        (a step needs both of its bounding wire positions) and reads from the
+        *device-side* slab uploaded for the chunk.
+        """
+        return KernelContext(
+            images=device_images[step_start:step_stop + 1],
+            back_edge_yz=ctx.back_edge_yz,
+            front_edge_yz=ctx.front_edge_yz,
+            wire_positions_yz=ctx.wire_positions_yz[step_start:step_stop + 1],
+            wire_radius=ctx.wire_radius,
+            grid=ctx.grid,
+            wire_edge=ctx.wire_edge,
+            difference_mode=ctx.difference_mode,
+            intensity_cutoff=ctx.intensity_cutoff,
+            mask=ctx.mask,
+        )
+
+    def execute_chunk(
+        self, ctx: KernelContext, row_start: int, row_stop: int
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        device = self.device
+        grid = ctx.grid
+        chunk_rows = row_stop - row_start
+
+        # -- host -> device -------------------------------------------------
+        upload = self._layout.upload(device, ctx.images)
+        self._h2d_bytes += upload.bytes_transferred
+
+        geometry_host = np.concatenate(
+            [
+                ctx.back_edge_yz.reshape(-1),
+                ctx.front_edge_yz.reshape(-1),
+                ctx.wire_positions_yz.reshape(-1),
+            ]
+        )
+        geometry_buf = device.memory.allocate(geometry_host.shape, geometry_host.dtype)
+        memcpy_host_to_device(device, geometry_buf, geometry_host, label="H2D:geometry")
+        self._h2d_bytes += int(geometry_host.nbytes)
+
+        out_buf = device.memory.allocate((grid.n_bins, chunk_rows, ctx.n_cols), np.float64)
+        out_buf.fill(0.0)
+
+        # -- kernel launches -------------------------------------------------
+        # The kernel reads the uploaded slab through the layout (as the CUDA
+        # kernel would read through the device pointer(s)).  The Tesla M2070
+        # only supports a one-deep grid z dimension, so the wire-step axis is
+        # covered by several launches when it exceeds blockDim.z * gridDim.z.
+        device_images = self._layout.read_cube(upload, (ctx.n_positions, chunk_rows, ctx.n_cols))
+        steps_per_launch = self.block_dim[2] * device.properties.max_grid_dim[2]
+        for step_start in range(0, ctx.n_steps, steps_per_launch):
+            step_stop = min(step_start + steps_per_launch, ctx.n_steps)
+            batch_ctx = self._batch_context(ctx, device_images, step_start, step_stop)
+            launch_cfg = LaunchConfig.for_volume(
+                (ctx.n_cols, chunk_rows, step_stop - step_start), block_dim=self.block_dim
+            )
+            launch(
+                device,
+                self._kernel,
+                launch_cfg,
+                batch_ctx,
+                out_buf.device_array(),
+                mode=self.launch_mode,
+            )
+            self._n_launches += 1
+            self._n_threads += launch_cfg.total_threads
+
+        # -- device -> host --------------------------------------------------
+        partial = np.zeros((grid.n_bins, chunk_rows, ctx.n_cols), dtype=np.float64)
+        memcpy_device_to_host(device, partial, out_buf, label="D2H:depth_resolved")
+        self._d2h_bytes += int(partial.nbytes)
+
+        # -- free chunk allocations ------------------------------------------
+        upload.free()
+        geometry_buf.free()
+        out_buf.free()
+
+        yield row_start, partial
+
+    # ------------------------------------------------------------------ #
+    def report_extras(self) -> Dict:
+        by_kind = self.device.profiler.time_by_kind()
+        return {
+            "compute_time": by_kind.get("kernel", 0.0),
+            "transfer_time": by_kind.get("memcpy_h2d", 0.0) + by_kind.get("memcpy_d2h", 0.0),
+            "simulated_device_time": self.device.simulated_time,
+            "h2d_bytes": self._h2d_bytes,
+            "d2h_bytes": self._d2h_bytes,
+            "n_kernel_launches": self._n_launches,
+            "n_threads_launched": self._n_threads,
+            "layout": self._layout.name,
+        }
+
+    def notes(self) -> List[str]:
+        return [f"device: {self.device.properties.name}"]
 
 
 @register_backend
@@ -57,139 +201,10 @@ class GpuSimBackend(Backend):
         self.block_dim = block_dim
         self.launch_mode = launch_mode
 
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _batch_context(ctx, device_images: np.ndarray, step_start: int, step_stop: int):
-        """Kernel context restricted to wire steps ``step_start:step_stop``.
-
-        The image view covers positions ``step_start .. step_stop`` inclusive
-        (a step needs both of its bounding wire positions) and reads from the
-        *device-side* slab uploaded for the chunk.
-        """
-        from repro.core.kernels import KernelContext
-
-        return KernelContext(
-            images=device_images[step_start:step_stop + 1],
-            back_edge_yz=ctx.back_edge_yz,
-            front_edge_yz=ctx.front_edge_yz,
-            wire_positions_yz=ctx.wire_positions_yz[step_start:step_stop + 1],
-            wire_radius=ctx.wire_radius,
-            grid=ctx.grid,
-            wire_edge=ctx.wire_edge,
-            difference_mode=ctx.difference_mode,
-            intensity_cutoff=ctx.intensity_cutoff,
-            mask=ctx.mask,
+    def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
+        return GpuSimExecutor(
+            device=self._external_device,
+            device_properties=self._device_properties,
+            block_dim=self.block_dim,
+            launch_mode=self.launch_mode,
         )
-
-    def _make_device(self, config: ReconstructionConfig) -> Device:
-        if self._external_device is not None:
-            self._external_device.reset_clock()
-            return self._external_device
-        return Device(self._device_properties, memory_limit_bytes=config.device_memory_limit)
-
-    def reconstruct(
-        self, stack: WireScanStack, config: ReconstructionConfig
-    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-        start = time.perf_counter()
-        device = self._make_device(config)
-        layout = get_layout(config.layout)
-        grid = config.grid
-
-        plan = plan_row_chunks(
-            n_rows=stack.n_rows,
-            n_cols=stack.n_cols,
-            n_positions=stack.n_positions,
-            n_depth_bins=grid.n_bins,
-            device_memory_bytes=device.memory.capacity_bytes,
-            layout=config.layout,
-            rows_per_chunk=config.rows_per_chunk,
-        )
-
-        histogram = DepthHistogram(grid, stack.n_rows, stack.n_cols)
-        kernel = make_set_two_kernel(extra_flops_per_thread=layout.index_arithmetic_flops)
-
-        h2d_bytes = 0
-        d2h_bytes = 0
-        n_launches = 0
-        n_threads = 0
-
-        for row_start, row_stop in plan.chunks:
-            chunk_rows = row_stop - row_start
-            ctx = build_kernel_context(stack, config, row_start, row_stop)
-
-            # -- host -> device -------------------------------------------------
-            upload = layout.upload(device, ctx.images)
-            h2d_bytes += upload.bytes_transferred
-
-            geometry_host = np.concatenate(
-                [
-                    ctx.back_edge_yz.reshape(-1),
-                    ctx.front_edge_yz.reshape(-1),
-                    ctx.wire_positions_yz.reshape(-1),
-                ]
-            )
-            geometry_buf = device.memory.allocate(geometry_host.shape, geometry_host.dtype)
-            memcpy_host_to_device(device, geometry_buf, geometry_host, label="H2D:geometry")
-            h2d_bytes += int(geometry_host.nbytes)
-
-            out_buf = device.memory.allocate((grid.n_bins, chunk_rows, stack.n_cols), np.float64)
-            out_buf.fill(0.0)
-
-            # -- kernel launches -------------------------------------------------
-            # The kernel reads the uploaded slab through the layout (as the CUDA
-            # kernel would read through the device pointer(s)).  The Tesla M2070
-            # only supports a one-deep grid z dimension, so the wire-step axis is
-            # covered by several launches when it exceeds blockDim.z * gridDim.z.
-            device_images = layout.read_cube(upload, (stack.n_positions, chunk_rows, stack.n_cols))
-            steps_per_launch = self.block_dim[2] * device.properties.max_grid_dim[2]
-            for step_start in range(0, stack.n_steps, steps_per_launch):
-                step_stop = min(step_start + steps_per_launch, stack.n_steps)
-                batch_ctx = self._batch_context(ctx, device_images, step_start, step_stop)
-                launch_cfg = LaunchConfig.for_volume(
-                    (stack.n_cols, chunk_rows, step_stop - step_start), block_dim=self.block_dim
-                )
-                launch(
-                    device,
-                    kernel,
-                    launch_cfg,
-                    batch_ctx,
-                    out_buf.device_array(),
-                    mode=self.launch_mode,
-                )
-                n_launches += 1
-                n_threads += launch_cfg.total_threads
-
-            # -- device -> host --------------------------------------------------
-            partial = np.zeros((grid.n_bins, chunk_rows, stack.n_cols), dtype=np.float64)
-            memcpy_device_to_host(device, partial, out_buf, label="D2H:depth_resolved")
-            d2h_bytes += int(partial.nbytes)
-            histogram.merge_partial(partial, row_start)
-
-            # -- free chunk allocations ------------------------------------------
-            upload.free()
-            geometry_buf.free()
-            out_buf.free()
-
-        wall = time.perf_counter() - start
-        by_kind = device.profiler.time_by_kind()
-        transfer_time = by_kind.get("memcpy_h2d", 0.0) + by_kind.get("memcpy_d2h", 0.0)
-        compute_time = by_kind.get("kernel", 0.0)
-
-        report = ReconstructionReport(
-            backend=self.name,
-            wall_time=wall,
-            compute_time=compute_time,
-            transfer_time=transfer_time,
-            simulated_device_time=device.simulated_time,
-            h2d_bytes=h2d_bytes,
-            d2h_bytes=d2h_bytes,
-            n_chunks=plan.n_chunks,
-            n_kernel_launches=n_launches,
-            n_threads_launched=n_threads,
-            n_active_pixels=self.count_active_elements(stack, config),
-            n_steps=stack.n_steps,
-            layout=config.layout,
-            notes=[plan.summary(), f"device: {device.properties.name}"],
-        )
-        result = histogram.to_result(metadata={**stack.metadata, "backend": self.name})
-        return result, report

@@ -4,29 +4,39 @@ A host-parallel baseline the paper does not evaluate (its CPU code is
 single-threaded) but that a practitioner would reach for before buying a
 GPU; it is included as an ablation point.  Each worker reconstructs a
 contiguous band of detector rows with the vectorised kernel and returns its
-partial depth-resolved cube; the parent stitches the bands together —
-depth reconstruction is embarrassingly parallel across rows because every
+partial depth-resolved cube; the engine stitches the bands together — depth
+reconstruction is embarrassingly parallel across rows because every
 (pixel, step) element writes only to its own pixel's depth profile.
+
+The executor keeps a bounded number of chunks in flight, so a streamed
+out-of-core run holds at most a few slabs in host memory regardless of how
+many chunks the plan has.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Tuple
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.backends.base import Backend, build_kernel_context, register_backend
+from repro.core.backends.base import Backend, register_backend
+from repro.core.chunking import ChunkPlan, estimate_chunk_device_bytes
 from repro.core.config import DifferenceMode, ReconstructionConfig
 from repro.core.depth_grid import DepthGrid
-from repro.core.histogram import DepthHistogram
+from repro.core.engine import (
+    HOST_MEMORY_BYTES,
+    ChunkExecutor,
+    ChunkSource,
+    ExecutionPlan,
+    build_execution_plan,
+    compute_stack_background,
+)
 from repro.core.kernels import KernelContext, depth_resolve_chunk_vectorized
-from repro.core.result import DepthResolvedStack, ReconstructionReport
-from repro.core.stack import WireScanStack
 from repro.geometry.wire import WireEdge
 
-__all__ = ["MultiprocessBackend"]
+__all__ = ["MultiprocessBackend", "MultiprocessExecutor"]
 
 
 def _worker_reconstruct_rows(payload: dict) -> np.ndarray:
@@ -53,63 +63,137 @@ def _worker_reconstruct_rows(payload: dict) -> np.ndarray:
     return out
 
 
+class MultiprocessExecutor(ChunkExecutor):
+    """Row bands dispatched to a process pool, bounded chunks in flight."""
+
+    name = "multiprocess"
+
+    def __init__(self):
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pending: Deque[Tuple[int, Future]] = deque()
+        self._config: Optional[ReconstructionConfig] = None
+        self._n_workers = 1
+        self._max_inflight = 1
+        self._n_bands = 0
+        self._n_threads = 0
+
+    # ------------------------------------------------------------------ #
+    def plan(self, source: ChunkSource, config: ReconstructionConfig) -> ExecutionPlan:
+        """One near-equal band per worker, unless the caller fixed the chunk size.
+
+        On an out-of-core source the band size is additionally capped by the
+        engine's streaming budget: a band of ``n_rows / n_workers`` could pull
+        an arbitrarily large slab into RAM, while capped uniform chunks keep
+        the resident set bounded and still feed every worker through the pool.
+        """
+        if config.rows_per_chunk is not None:
+            return build_execution_plan(source, config, strategy="multiprocess")
+        n_workers = max(1, min(config.n_workers, source.n_rows))
+        if source.out_of_core:
+            from repro.core.chunking import plan_row_chunks
+            from repro.core.engine import streaming_budget_bytes
+
+            bounded = plan_row_chunks(
+                n_rows=source.n_rows,
+                n_cols=source.n_cols,
+                n_positions=source.n_positions,
+                n_depth_bins=config.grid.n_bins,
+                device_memory_bytes=streaming_budget_bytes(source, config),
+                layout=config.layout,
+            ).rows_per_chunk
+            band = -(-source.n_rows // n_workers)
+            return build_execution_plan(
+                source, config, rows_per_chunk=min(band, bounded), strategy="multiprocess"
+            )
+        bands = MultiprocessBackend._row_bands(source.n_rows, n_workers)
+        rows_per_chunk = max(stop - start for start, stop in bands)
+        chunk_plan = ChunkPlan(
+            n_rows=source.n_rows,
+            rows_per_chunk=rows_per_chunk,
+            chunks=tuple(bands),
+            bytes_per_chunk=estimate_chunk_device_bytes(
+                rows_per_chunk, source.n_cols, source.n_positions, config.grid.n_bins, config.layout
+            ),
+            device_memory_bytes=HOST_MEMORY_BYTES,
+            layout=config.layout,
+            notes=("one band per worker",),
+        )
+        return ExecutionPlan(
+            chunk_plan=chunk_plan,
+            background=compute_stack_background(source, config),
+            strategy="multiprocess",
+        )
+
+    def prepare(self, source: ChunkSource, config: ReconstructionConfig, plan: ExecutionPlan) -> None:
+        self._config = config
+        self._n_workers = max(1, min(config.n_workers, source.n_rows))
+        # Slabs pending in the pool hold host memory; cap how many may be in
+        # flight so a streamed run stays bounded even with many chunks.
+        self._max_inflight = 2 * self._n_workers
+        if self._n_workers > 1:
+            self._pool = ProcessPoolExecutor(max_workers=self._n_workers)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _payload(ctx: KernelContext, config: ReconstructionConfig) -> dict:
+        return {
+            "images": np.ascontiguousarray(ctx.images),
+            "back_edge_yz": ctx.back_edge_yz,
+            "front_edge_yz": ctx.front_edge_yz,
+            "wire_positions_yz": ctx.wire_positions_yz,
+            "wire_radius": ctx.wire_radius,
+            "grid_start": config.grid.start,
+            "grid_step": config.grid.step,
+            "grid_n_bins": config.grid.n_bins,
+            "wire_edge": int(config.wire_edge),
+            "difference_mode": config.difference_mode.value,
+            "intensity_cutoff": config.intensity_cutoff,
+            "mask": ctx.mask,
+        }
+
+    def execute_chunk(
+        self, ctx: KernelContext, row_start: int, row_stop: int
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        self._n_bands += 1
+        self._n_threads += ctx.n_steps * ctx.n_rows * ctx.n_cols
+        if self._pool is None:
+            yield row_start, _worker_reconstruct_rows(self._payload(ctx, self._config))
+            return
+        self._pending.append((row_start, self._pool.submit(_worker_reconstruct_rows, self._payload(ctx, self._config))))
+        while len(self._pending) > self._max_inflight:
+            start, future = self._pending.popleft()
+            yield start, future.result()
+
+    def drain(self) -> Iterable[Tuple[int, np.ndarray]]:
+        while self._pending:
+            start, future = self._pending.popleft()
+            yield start, future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._pending.clear()
+
+    # ------------------------------------------------------------------ #
+    def report_extras(self) -> Dict:
+        return {
+            "n_kernel_launches": self._n_bands,
+            "n_threads_launched": self._n_threads,
+        }
+
+    def notes(self) -> List[str]:
+        return [f"{self._n_workers} worker process(es), {self._n_bands} row band(s)"]
+
+
 @register_backend
 class MultiprocessBackend(Backend):
     """Row-partitioned reconstruction on a process pool."""
 
     name = "multiprocess"
 
-    def reconstruct(
-        self, stack: WireScanStack, config: ReconstructionConfig
-    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-        start = time.perf_counter()
-        n_workers = max(1, min(config.n_workers, stack.n_rows))
-        bands = self._row_bands(stack.n_rows, n_workers)
-
-        payloads: List[dict] = []
-        for row_start, row_stop in bands:
-            ctx = build_kernel_context(stack, config, row_start, row_stop)
-            payloads.append(
-                {
-                    "images": ctx.images,
-                    "back_edge_yz": ctx.back_edge_yz,
-                    "front_edge_yz": ctx.front_edge_yz,
-                    "wire_positions_yz": ctx.wire_positions_yz,
-                    "wire_radius": ctx.wire_radius,
-                    "grid_start": config.grid.start,
-                    "grid_step": config.grid.step,
-                    "grid_n_bins": config.grid.n_bins,
-                    "wire_edge": int(config.wire_edge),
-                    "difference_mode": config.difference_mode.value,
-                    "intensity_cutoff": config.intensity_cutoff,
-                    "mask": ctx.mask,
-                }
-            )
-
-        histogram = DepthHistogram(config.grid, stack.n_rows, stack.n_cols)
-        if n_workers == 1:
-            partials = [_worker_reconstruct_rows(payloads[0])]
-        else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                partials = list(pool.map(_worker_reconstruct_rows, payloads))
-        for (row_start, _row_stop), partial in zip(bands, partials):
-            histogram.merge_partial(partial, row_start)
-
-        wall = time.perf_counter() - start
-        report = ReconstructionReport(
-            backend=self.name,
-            wall_time=wall,
-            compute_time=wall,
-            n_chunks=len(bands),
-            n_kernel_launches=len(bands),
-            n_threads_launched=stack.n_steps * stack.n_rows * stack.n_cols,
-            n_active_pixels=self.count_active_elements(stack, config),
-            n_steps=stack.n_steps,
-            layout=None,
-            notes=[f"{n_workers} worker process(es), {len(bands)} row band(s)"],
-        )
-        result = histogram.to_result(metadata={**stack.metadata, "backend": self.name})
-        return result, report
+    def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
+        return MultiprocessExecutor()
 
     # ------------------------------------------------------------------ #
     @staticmethod

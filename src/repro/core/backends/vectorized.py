@@ -1,24 +1,54 @@
 """Vectorised host backend.
 
-Runs the whole reconstruction as NumPy array operations in host memory — the
-fastest single-process path when the data already fits in RAM.  It is the
+Runs the reconstruction as NumPy array operations in host memory — the
+fastest single-process path when the working set fits in RAM.  It is the
 numerical twin of the GPU-sim backend without the device-memory constraint
 and transfer accounting.
+
+The chunk loop, accounting and reporting live in the shared engine; this
+module only supplies the vectorised per-chunk compute.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Tuple
+from typing import Dict, Iterable, List, Tuple
 
-from repro.core.backends.base import Backend, build_kernel_context, register_backend
+import numpy as np
+
+from repro.core.backends.base import Backend, register_backend
 from repro.core.config import ReconstructionConfig
-from repro.core.histogram import DepthHistogram
-from repro.core.kernels import depth_resolve_chunk_vectorized
-from repro.core.result import DepthResolvedStack, ReconstructionReport
-from repro.core.stack import WireScanStack
+from repro.core.engine import ChunkExecutor
+from repro.core.kernels import KernelContext, depth_resolve_chunk_vectorized
 
-__all__ = ["VectorizedBackend"]
+__all__ = ["VectorizedBackend", "VectorizedExecutor"]
+
+
+class VectorizedExecutor(ChunkExecutor):
+    """NumPy data-parallel execution of each chunk."""
+
+    name = "vectorized"
+
+    def __init__(self):
+        self._n_launches = 0
+        self._n_threads = 0
+
+    def execute_chunk(
+        self, ctx: KernelContext, row_start: int, row_stop: int
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        partial = np.zeros((ctx.grid.n_bins, ctx.n_rows, ctx.n_cols), dtype=np.float64)
+        depth_resolve_chunk_vectorized(ctx, partial)
+        self._n_launches += 1
+        self._n_threads += ctx.n_steps * ctx.n_rows * ctx.n_cols
+        yield row_start, partial
+
+    def report_extras(self) -> Dict:
+        return {
+            "n_kernel_launches": self._n_launches,
+            "n_threads_launched": self._n_threads,
+        }
+
+    def notes(self) -> List[str]:
+        return ["host NumPy vectorised execution"]
 
 
 @register_backend
@@ -27,26 +57,5 @@ class VectorizedBackend(Backend):
 
     name = "vectorized"
 
-    def reconstruct(
-        self, stack: WireScanStack, config: ReconstructionConfig
-    ) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-        start = time.perf_counter()
-        ctx = build_kernel_context(stack, config)
-        histogram = DepthHistogram(config.grid, stack.n_rows, stack.n_cols)
-        depth_resolve_chunk_vectorized(ctx, histogram.data)
-        wall = time.perf_counter() - start
-
-        report = ReconstructionReport(
-            backend=self.name,
-            wall_time=wall,
-            compute_time=wall,
-            n_chunks=1,
-            n_kernel_launches=1,
-            n_threads_launched=stack.n_steps * stack.n_rows * stack.n_cols,
-            n_active_pixels=self.count_active_elements(stack, config),
-            n_steps=stack.n_steps,
-            layout=None,
-            notes=["host NumPy vectorised execution"],
-        )
-        result = histogram.to_result(metadata={**stack.metadata, "backend": self.name})
-        return result, report
+    def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
+        return VectorizedExecutor()

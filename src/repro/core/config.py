@@ -64,8 +64,15 @@ class ReconstructionConfig:
     n_workers:
         Worker count for the multiprocess backend.
     subtract_background:
-        If true, a constant background (median of each difference image) is
-        subtracted before distribution.
+        If true, a constant per-image background (the median of the whole
+        image) is subtracted before distribution.  The levels are computed
+        once per run over the full stack, so every chunking subtracts the
+        same background.
+    streaming:
+        If true, :func:`repro.core.pipeline.reconstruct_file` streams row
+        chunks straight from disk through the engine instead of loading the
+        image cube into host memory first — the out-of-core mode for data
+        sets larger than RAM.
     """
 
     grid: DepthGrid
@@ -78,6 +85,7 @@ class ReconstructionConfig:
     device_memory_limit: Optional[int] = None
     n_workers: int = 2
     subtract_background: bool = False
+    streaming: bool = False
 
     def __post_init__(self):
         if not isinstance(self.grid, DepthGrid):

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.config import DifferenceMode
 from repro.core.depth_grid import DepthGrid
 from repro.core.depth_mapping import pixel_yz_to_depth, pixel_yz_to_depth_scalar
-from repro.core.trapezoid import distribute_intensity, trapezoid_area
+from repro.core.trapezoid import MIN_TRAPEZOID_AREA, distribute_intensity, trapezoid_area
 from repro.cudasim.atomic import atomic_add
 from repro.geometry.wire import WireEdge
 
@@ -192,7 +192,7 @@ def depth_resolve_element(
     d1, d2, d3, d4 = sorted(corners)
 
     area = ((d4 - d1) + (d3 - d2)) / 2.0
-    if area <= 0.0:
+    if area <= MIN_TRAPEZOID_AREA:
         return 0.0
 
     grid = ctx.grid
@@ -282,7 +282,7 @@ def depth_resolve_chunk_vectorized(
     # A (step, row) pair can contribute only if its trapezoid overlaps the
     # grid at all; combined with the per-element cutoff this gives the active
     # element set.
-    pair_active = corners_valid & (area > 0) & (d4 > grid.start) & (d1 < grid.stop)
+    pair_active = corners_valid & (area > MIN_TRAPEZOID_AREA) & (d4 > grid.start) & (d1 < grid.stop)
 
     active = np.abs(diffs) > ctx.intensity_cutoff
     active &= diffs != 0.0
@@ -388,7 +388,7 @@ def set_two_vectorized(
     corners_sorted = np.sort(corners, axis=0)
     d1, d2, d3, d4 = corners_sorted
     area = trapezoid_area(d1, d2, d3, d4)
-    usable = finite & (area > 0) & (d4 > grid.start) & (d1 < grid.stop)
+    usable = finite & (area > MIN_TRAPEZOID_AREA) & (d4 > grid.start) & (d1 < grid.stop)
     if not np.any(usable):
         return
     col_idx, row_idx, values = col_idx[usable], row_idx[usable], values[usable]

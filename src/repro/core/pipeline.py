@@ -1,22 +1,38 @@
-"""File-to-file reconstruction pipeline.
+"""File-to-file reconstruction pipeline and the multi-file batch scheduler.
 
 Mirrors the structure of the original program: everything except the
 per-pixel reconstruction stays on the host — reading the wire-scan images
 from the (h5lite) container, writing the depth-resolved result back to a
 container file and, optionally, per-pixel depth profiles to a text file.
+
+Two execution modes share the engine path:
+
+* **in-memory** (default) — the image cube is loaded into host RAM and
+  reconstructed through the backend's executor, as before;
+* **streaming** (``config.streaming=True``) — the engine pulls row-window
+  slabs straight from disk (:class:`repro.io.streaming.StreamingWireScanSource`),
+  so the full cube is never resident; this is the paper's out-of-core access
+  pattern extended from device memory to host memory.
+
+On top of the single-file pipeline, :func:`reconstruct_many` schedules a
+batch of scan files across a worker pool with per-file error isolation and
+returns an aggregated :class:`BatchReport` — the production-throughput mode
+for serving many scans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import ReconstructionConfig
-from repro.core.reconstruction import DepthReconstructor
 from repro.core.result import DepthResolvedStack, ReconstructionReport
 from repro.utils.logging import get_logger
 
-__all__ = ["PipelineResult", "reconstruct_file"]
+__all__ = ["PipelineResult", "BatchItem", "BatchReport", "reconstruct_file", "reconstruct_many"]
 
 _LOG = get_logger(__name__)
 
@@ -30,6 +46,30 @@ class PipelineResult:
     input_path: str
     output_path: Optional[str]
     text_path: Optional[str]
+
+
+def _reconstruct_streaming(
+    input_path: str, config: ReconstructionConfig
+) -> Tuple[DepthResolvedStack, ReconstructionReport]:
+    """Out-of-core reconstruction: engine chunks stream straight from disk."""
+    from repro.core.engine import execute_backend
+    from repro.io.streaming import StreamingWireScanSource
+
+    source = StreamingWireScanSource(input_path)
+    _LOG.info(
+        "streaming %s: %d images of %dx%d pixels (cube never resident)",
+        input_path,
+        source.n_positions,
+        source.n_rows,
+        source.n_cols,
+    )
+    result, report = execute_backend(source, config)
+    accounting = source.accounting()
+    report.notes.append(
+        "streamed from disk: {n_window_reads} window read(s), "
+        "peak {max_resident_rows} row(s) resident, {bytes_read} bytes read".format(**accounting)
+    )
+    return result, report
 
 
 def reconstruct_file(
@@ -47,7 +87,9 @@ def reconstruct_file(
         h5lite file produced by :func:`repro.io.save_wire_scan` (or the
         synthetic workload generator).
     config:
-        Reconstruction configuration.
+        Reconstruction configuration.  With ``config.streaming`` set, the
+        image cube is streamed from disk chunk by chunk instead of being
+        loaded into memory first; the result is bit-identical either way.
     output_path:
         Optional h5lite output path for the depth-resolved stack.
     text_path:
@@ -62,11 +104,15 @@ def reconstruct_file(
     from repro.io.image_stack import load_wire_scan, save_depth_resolved
     from repro.io.text_output import write_depth_profiles
 
-    stack = load_wire_scan(input_path)
-    _LOG.info("loaded %s: %s images of %sx%s pixels", input_path, *stack.shape)
+    if config.streaming:
+        result, report = _reconstruct_streaming(input_path, config)
+    else:
+        from repro.core.reconstruction import DepthReconstructor
 
-    reconstructor = DepthReconstructor(config=config)
-    result, report = reconstructor.reconstruct(stack)
+        stack = load_wire_scan(input_path)
+        _LOG.info("loaded %s: %s images of %sx%s pixels", input_path, *stack.shape)
+        reconstructor = DepthReconstructor(config=config)
+        result, report = reconstructor.reconstruct(stack)
 
     if output_path is not None:
         save_depth_resolved(output_path, result)
@@ -88,3 +134,195 @@ def reconstruct_file(
         output_path=None if output_path is None else str(output_path),
         text_path=None if text_path is None else str(text_path),
     )
+
+
+# --------------------------------------------------------------------------- #
+# batch scheduling
+@dataclass
+class BatchItem:
+    """Outcome of one file in a batch run."""
+
+    input_path: str
+    ok: bool
+    wall_time: float = 0.0
+    output_path: Optional[str] = None
+    report: Optional[ReconstructionReport] = None
+    error: Optional[str] = None
+    result: Optional[DepthResolvedStack] = None
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a :func:`reconstruct_many` run."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    wall_time: float = 0.0
+    max_workers: int = 1
+    backend: str = ""
+    streaming: bool = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_files(self) -> int:
+        """Number of scheduled files."""
+        return len(self.items)
+
+    @property
+    def n_ok(self) -> int:
+        """Number of files reconstructed successfully."""
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of files that raised."""
+        return self.n_files - self.n_ok
+
+    @property
+    def succeeded(self) -> List[BatchItem]:
+        """The successful items, in input order."""
+        return [item for item in self.items if item.ok]
+
+    @property
+    def failed(self) -> List[BatchItem]:
+        """The failed items, in input order."""
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def total_file_seconds(self) -> float:
+        """Sum of per-file wall times (> ``wall_time`` when the pool overlaps)."""
+        return sum(item.wall_time for item in self.items)
+
+    @property
+    def throughput_files_per_second(self) -> float:
+        """Completed files per second of batch wall time."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.n_ok / self.wall_time
+
+    def summary(self) -> str:
+        """Human-readable multi-line batch summary."""
+        mode = "streaming" if self.streaming else "in-memory"
+        lines = [
+            f"batch: {self.n_ok}/{self.n_files} file(s) ok, backend={self.backend} ({mode}), "
+            f"{self.max_workers} worker(s)",
+            f"  wall={self.wall_time:.4f}s file-seconds={self.total_file_seconds:.4f}s "
+            f"throughput={self.throughput_files_per_second:.2f} files/s",
+        ]
+        for item in self.items:
+            if item.ok:
+                lines.append(f"  ok   {item.input_path} ({item.wall_time:.4f}s)")
+            else:
+                lines.append(f"  FAIL {item.input_path}: {item.error}")
+        return "\n".join(lines)
+
+
+def _batch_output_paths(paths: Sequence[str], output_dir: str) -> List[str]:
+    """One ``<stem>_depth.h5lite`` per input; colliding names get a numeric suffix.
+
+    Inputs from different directories may share a basename — without
+    disambiguation their outputs would silently overwrite each other.  Every
+    generated name is reserved, so a suffixed name can never collide with a
+    later input whose stem happens to end in ``_<n>``.
+    """
+    used: set = set()
+    out: List[str] = []
+    for path in paths:
+        stem = os.path.splitext(os.path.basename(str(path)))[0]
+        name = f"{stem}_depth.h5lite"
+        suffix = 1
+        while name in used:
+            name = f"{stem}_{suffix}_depth.h5lite"
+            suffix += 1
+        used.add(name)
+        out.append(os.path.join(output_dir, name))
+    return out
+
+
+def reconstruct_many(
+    paths: Sequence[str],
+    config: ReconstructionConfig,
+    max_workers: Optional[int] = None,
+    output_dir: Optional[str] = None,
+    keep_results: bool = True,
+) -> BatchReport:
+    """Reconstruct a batch of wire-scan files on a worker pool.
+
+    Files are scheduled onto ``max_workers`` threads (default: up to 4, never
+    more than the number of files).  A failure in one file is isolated: it is
+    recorded on that file's :class:`BatchItem` and the rest of the batch
+    continues.
+
+    Parameters
+    ----------
+    paths:
+        Input wire-scan files.
+    config:
+        Shared reconstruction configuration (``config.streaming`` selects
+        out-of-core execution per file).
+    max_workers:
+        Concurrent reconstructions.  Thread-based: NumPy kernels and file
+        I/O release the GIL for long stretches, and the multiprocess backend
+        brings its own process pool.
+    output_dir:
+        When given, each file's depth-resolved result is written to
+        ``<output_dir>/<stem>_depth.h5lite`` (the directory is created).
+    keep_results:
+        Keep each file's :class:`DepthResolvedStack` on its item.  Disable
+        for very large batches where only the reports (or the written output
+        files) are wanted.
+    """
+    paths = [str(p) for p in paths]
+    if not paths:
+        return BatchReport(items=[], wall_time=0.0, max_workers=0,
+                           backend=config.backend, streaming=config.streaming)
+    if max_workers is None:
+        max_workers = min(4, len(paths))
+    max_workers = max(1, min(int(max_workers), len(paths)))
+    output_paths: List[Optional[str]] = [None] * len(paths)
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+        output_paths = list(_batch_output_paths(paths, output_dir))
+
+    def run_one(job: Tuple[str, Optional[str]]) -> BatchItem:
+        input_path, output_path = job
+        start = time.perf_counter()
+        try:
+            outcome = reconstruct_file(input_path, config, output_path=output_path)
+        except Exception as exc:  # per-file isolation: record, don't abort the batch
+            wall = time.perf_counter() - start
+            _LOG.warning("batch: %s failed after %.3fs: %s", input_path, wall, exc)
+            return BatchItem(
+                input_path=input_path,
+                ok=False,
+                wall_time=wall,
+                output_path=output_path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        wall = time.perf_counter() - start
+        return BatchItem(
+            input_path=input_path,
+            ok=True,
+            wall_time=wall,
+            output_path=outcome.output_path,
+            report=outcome.report,
+            result=outcome.result if keep_results else None,
+        )
+
+    jobs = list(zip(paths, output_paths))
+    start = time.perf_counter()
+    if max_workers == 1:
+        items = [run_one(job) for job in jobs]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            items = list(pool.map(run_one, jobs))
+    wall = time.perf_counter() - start
+
+    report = BatchReport(
+        items=items,
+        wall_time=wall,
+        max_workers=max_workers,
+        backend=config.backend,
+        streaming=config.streaming,
+    )
+    _LOG.info("batch finished: %s", report.summary().splitlines()[0])
+    return report

@@ -102,9 +102,45 @@ class DepthReconstructor:
 
         Returns a mapping ``backend name -> (result, report)``; useful for
         correctness cross-checks and for the benchmark harness.
+
+        Every backend name is validated (and each backend instantiated)
+        *before* any reconstruction runs, so a typo in the last name cannot
+        waste the runs before it.  Each report's notes additionally carry a
+        reference engine plan summary for this stack/config.  With
+        ``config.rows_per_chunk`` fixed, every backend runs that exact
+        chunking and the comparison is attributable to identical chunks;
+        when it is unset the note says so explicitly and each backend's own
+        plan note records what it actually ran.
         """
+        names = [str(name) for name in backends]
+        resolved = [get_backend(name) for name in names]  # validates up front
+
+        from repro.core.chunking import plan_row_chunks
+        from repro.core.engine import HOST_MEMORY_BYTES
+
+        # reference chunking for the notes; background (if any) is computed by
+        # each run itself, so no extra pass over the stack happens here
+        reference = plan_row_chunks(
+            n_rows=stack.n_rows,
+            n_cols=stack.n_cols,
+            n_positions=stack.n_positions,
+            n_depth_bins=self.config.grid.n_bins,
+            device_memory_bytes=HOST_MEMORY_BYTES,
+            layout=self.config.layout,
+            rows_per_chunk=self.config.rows_per_chunk,
+        )
+        if self.config.rows_per_chunk is not None:
+            shared_note = f"compare_backends shared plan: {reference.summary()}"
+        else:
+            shared_note = (
+                f"compare_backends reference plan: {reference.summary()} "
+                "(rows_per_chunk unset: backends may chunk differently; "
+                "each report's own plan note is authoritative)"
+            )
+
         out = {}
-        for name in backends:
-            backend = get_backend(name)
-            out[name] = backend.reconstruct(stack, self.config.with_backend(name))
+        for name, backend in zip(names, resolved):
+            result, report = backend.reconstruct(stack, self.config.with_backend(name))
+            report.notes.append(shared_note)
+            out[name] = (result, report)
         return out

@@ -27,6 +27,7 @@ from repro.utils.validation import ValidationError
 
 __all__ = [
     "Trapezoid",
+    "MIN_TRAPEZOID_AREA",
     "trapezoid_from_depths",
     "trapezoid_height",
     "trapezoid_area",
@@ -34,6 +35,14 @@ __all__ = [
     "trapezoid_bin_overlaps",
     "distribute_intensity",
 ]
+
+#: Trapezoids with less area than this are treated as degenerate and deposit
+#: nothing: dividing overlaps by a near-zero area amplifies floating-point
+#: noise into arbitrarily large weights.  Physical responses have areas on the
+#: pixel-size scale (micrometres), many orders of magnitude above this cutoff.
+#: Every kernel path (scalar, vectorised, simulated-CUDA) applies the same
+#: cutoff so the backends stay bit-identical.
+MIN_TRAPEZOID_AREA = 1e-9
 
 
 @dataclass(frozen=True)
@@ -215,5 +224,5 @@ def distribute_intensity(
     overlaps = trapezoid_bin_overlaps(grid, d1, d2, d3, d4)
     area = np.atleast_1d(trapezoid_area(d1, d2, d3, d4))
     with np.errstate(invalid="ignore", divide="ignore"):
-        weights = np.where(area[:, None] > 0, overlaps / area[:, None], 0.0)
+        weights = np.where(area[:, None] > MIN_TRAPEZOID_AREA, overlaps / area[:, None], 0.0)
     return weights * intensity[:, None]

@@ -158,6 +158,29 @@ class Detector:
         return back, front
 
     # ------------------------------------------------------------------ #
+    def row_window(self, start: int, stop: int) -> "Detector":
+        """Detector restricted to rows ``start:stop`` at the same lab position.
+
+        The windowed detector's centre is shifted so that its pixels coincide
+        exactly with rows ``start:stop`` of this detector — the geometry the
+        row-chunk streaming and windowed file reads rely on.
+        """
+        if not (0 <= start < stop <= self.n_rows):
+            raise ValidationError(f"invalid row window [{start}, {stop}) for {self.n_rows} rows")
+        return Detector(
+            n_rows=stop - start,
+            n_cols=self.n_cols,
+            pixel_size=self.pixel_size,
+            distance=self.distance,
+            center=(
+                self.center[0],
+                self.center[1]
+                + ((start + stop - 1) / 2.0 - (self.n_rows - 1) / 2.0) * self.pixel_size,
+            ),
+            tilt=self.tilt,
+        )
+
+    # ------------------------------------------------------------------ #
     @staticmethod
     def _check_indices(indices: np.ndarray, bound: int, name: str) -> None:
         indices = np.asarray(indices)

@@ -14,9 +14,12 @@ from repro.io.h5lite import H5LiteFile, Dataset, Group, H5LiteError
 from repro.io.image_stack import (
     save_wire_scan,
     load_wire_scan,
+    load_wire_scan_window,
+    read_wire_scan_geometry,
     save_depth_resolved,
     load_depth_resolved,
 )
+from repro.io.streaming import StreamingWireScanSource
 from repro.io.text_output import write_depth_profiles, read_depth_profiles
 from repro.io.metadata import ExperimentMetadata
 
@@ -27,6 +30,9 @@ __all__ = [
     "H5LiteError",
     "save_wire_scan",
     "load_wire_scan",
+    "load_wire_scan_window",
+    "read_wire_scan_geometry",
+    "StreamingWireScanSource",
     "save_depth_resolved",
     "load_depth_resolved",
     "write_depth_profiles",

@@ -118,9 +118,55 @@ class Dataset:
             return full[start:stop].copy()
         return self._file._read_dataset(self, start, stop)
 
+    def read_window(
+        self,
+        start: int = 0,
+        stop: Optional[int] = None,
+        sub_start: int = 0,
+        sub_stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Read rows ``start:stop`` of the leading axis restricted to
+        ``sub_start:sub_stop`` along the second axis.
+
+        This is the windowed out-of-core read the streaming pipeline uses:
+        for a ``(n_positions, n_rows, n_cols)`` image cube it returns the
+        slab ``cube[start:stop, sub_start:sub_stop, :]`` while touching only
+        the bytes of that window — each leading-axis row stores its second
+        axis contiguously, so the window is one seek + one read per leading
+        row, never the whole cube.
+        """
+        if self.ndim < 2:
+            raise H5LiteError("read_window requires a dataset with at least 2 dimensions")
+        n_sub = self.shape[1]
+        sub_stop = n_sub if sub_stop is None else min(int(sub_stop), n_sub)
+        sub_start = max(0, int(sub_start))
+        if sub_stop <= sub_start:
+            stop_eff = (self.shape[0] if stop is None else min(int(stop), self.shape[0])) - max(0, int(start))
+            return np.empty((max(stop_eff, 0), 0) + self.shape[2:], dtype=self.dtype)
+        if sub_start == 0 and sub_stop == n_sub:
+            return self.read(start, stop)
+        if self._data is not None:
+            stop = self.shape[0] if stop is None else stop
+            return self._data[start:stop, sub_start:sub_stop].copy()
+        return self._file._read_dataset_window(self, start, stop, sub_start, sub_stop)
+
     def __getitem__(self, key) -> np.ndarray:
         if key is Ellipsis:
             return self.read()
+        if isinstance(key, tuple):
+            if len(key) != 2 or not all(isinstance(k, slice) for k in key):
+                raise H5LiteError(
+                    "h5lite datasets only support 2-axis windows of the form [i:j, k:l]"
+                )
+            lead, sub = key
+            if lead.step not in (None, 1) or sub.step not in (None, 1):
+                raise H5LiteError("h5lite windows must be contiguous (step 1)")
+            return self.read_window(
+                0 if lead.start is None else int(lead.start),
+                None if lead.stop is None else int(lead.stop),
+                0 if sub.start is None else int(sub.start),
+                None if sub.stop is None else int(sub.stop),
+            )
         if isinstance(key, slice):
             if key.step not in (None, 1):
                 raise H5LiteError("h5lite datasets only support contiguous slices on the leading axis")
@@ -130,7 +176,7 @@ class Dataset:
         if isinstance(key, (int, np.integer)):
             rows = self.read(int(key), int(key) + 1)
             return rows[0]
-        raise H5LiteError(f"unsupported index {key!r}; use [...], [i] or [i:j]")
+        raise H5LiteError(f"unsupported index {key!r}; use [...], [i], [i:j] or [i:j, k:l]")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dataset({self.name!r}, shape={self.shape}, dtype={self.dtype})"
@@ -443,4 +489,40 @@ class H5LiteFile:
                         (hi - lo,) + ds.shape[1:]
                     )
                     filled += hi - lo
+        return out
+
+    def _read_dataset_window(
+        self, ds: Dataset, start: int, stop: Optional[int], sub_start: int, sub_stop: int
+    ) -> np.ndarray:
+        """Windowed read: leading rows ``start:stop``, second axis ``sub_start:sub_stop``.
+
+        Only the bytes of the window are read (one seek per leading row),
+        which is what keeps the streaming reconstruction's resident set at
+        one slab regardless of the cube size.
+        """
+        if self.mode != "r":
+            raise H5LiteError("partial reads require the file to be open in read mode")
+        n_rows = ds.shape[0]
+        stop = n_rows if stop is None else min(stop, n_rows)
+        start = max(0, start)
+        window = sub_stop - sub_start
+        if stop <= start:
+            return np.empty((0, window) + ds.shape[2:], dtype=ds.dtype)
+
+        row_bytes = ds._row_bytes()
+        sub_bytes = row_bytes // ds.shape[1]  # bytes of one second-axis row
+        out = np.empty((stop - start, window) + ds.shape[2:], dtype=ds.dtype)
+        chunk_rows = ds.chunk_rows or n_rows
+        with open(self.path, "rb") as fh:
+            for filled, lead in enumerate(range(start, stop)):
+                chunk_index = lead // chunk_rows
+                chunk_start_row = chunk_index * chunk_rows
+                fh.seek(
+                    self._data_start
+                    + ds._chunk_offsets[chunk_index]
+                    + (lead - chunk_start_row) * row_bytes
+                    + sub_start * sub_bytes
+                )
+                raw = fh.read(window * sub_bytes)
+                out[filled] = np.frombuffer(raw, dtype=ds.dtype).reshape((window,) + ds.shape[2:])
         return out

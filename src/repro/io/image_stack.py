@@ -38,6 +38,8 @@ from repro.io.h5lite import H5LiteFile, H5LiteError
 __all__ = [
     "save_wire_scan",
     "load_wire_scan",
+    "load_wire_scan_window",
+    "read_wire_scan_geometry",
     "save_depth_resolved",
     "load_depth_resolved",
 ]
@@ -75,51 +77,105 @@ def save_wire_scan(path, stack: WireScanStack, chunk_positions: Optional[int] = 
         beam_grp.attrs["energy_max_kev"] = stack.beam.energy_max_kev
 
 
+def _wire_scan_entry(fh: H5LiteFile, path):
+    """The validated ``/entry`` group of an open wire-scan file."""
+    if "entry" not in fh:
+        raise H5LiteError(f"{path} does not contain an /entry group")
+    entry = fh["entry"]
+    if entry.attrs.get("format") != "repro-wire-scan":
+        raise H5LiteError(f"{path} is not a repro wire-scan file")
+    return entry
+
+
+def _read_entry_geometry(entry):
+    """Parse (scan, detector, beam, metadata) from an ``/entry`` group.
+
+    Touches only header attributes and the (small) wire trajectory — never
+    the image cube, so it is safe for out-of-core use.
+    """
+    wire_grp = entry["wire"]
+    wire = Wire(radius=float(wire_grp.attrs["radius"]))
+    positions = entry["wire/positions_yz"][...]
+    scan = WireScan(wire=wire, positions_yz=positions)
+
+    det_grp = entry["detector"]
+    detector = Detector(
+        n_rows=int(det_grp.attrs["n_rows"]),
+        n_cols=int(det_grp.attrs["n_cols"]),
+        pixel_size=float(det_grp.attrs["pixel_size"]),
+        distance=float(det_grp.attrs["distance"]),
+        center=tuple(det_grp.attrs["center"]),
+    )
+
+    beam_grp = entry["beam"]
+    beam = Beam(
+        direction=tuple(beam_grp.attrs["direction"]),
+        origin=tuple(beam_grp.attrs["origin"]),
+        energy_min_kev=float(beam_grp.attrs["energy_min_kev"]),
+        energy_max_kev=float(beam_grp.attrs["energy_max_kev"]),
+    )
+
+    metadata = {
+        key[len("meta_"):]: value
+        for key, value in entry.attrs.items()
+        if key.startswith("meta_")
+    }
+    return scan, detector, beam, metadata
+
+
+def read_wire_scan_geometry(path):
+    """Read only the geometry of a wire-scan file: ``(scan, detector, beam, metadata)``.
+
+    The image cube is not touched; this is the header read the streaming
+    pipeline performs before planning its chunks.
+    """
+    with H5LiteFile(path, "r") as fh:
+        entry = _wire_scan_entry(fh, path)
+        return _read_entry_geometry(entry)
+
+
 def load_wire_scan(path) -> WireScanStack:
     """Read a :class:`WireScanStack` from an h5lite file."""
     with H5LiteFile(path, "r") as fh:
-        if "entry" not in fh:
-            raise H5LiteError(f"{path} does not contain an /entry group")
-        entry = fh["entry"]
-        if entry.attrs.get("format") != "repro-wire-scan":
-            raise H5LiteError(f"{path} is not a repro wire-scan file")
-
+        entry = _wire_scan_entry(fh, path)
         images = entry["data/images"][...]
         pixel_mask = None
         if "data/pixel_mask" in entry:
             pixel_mask = entry["data/pixel_mask"][...].astype(bool)
-
-        wire_grp = entry["wire"]
-        wire = Wire(radius=float(wire_grp.attrs["radius"]))
-        positions = entry["wire/positions_yz"][...]
-        scan = WireScan(wire=wire, positions_yz=positions)
-
-        det_grp = entry["detector"]
-        detector = Detector(
-            n_rows=int(det_grp.attrs["n_rows"]),
-            n_cols=int(det_grp.attrs["n_cols"]),
-            pixel_size=float(det_grp.attrs["pixel_size"]),
-            distance=float(det_grp.attrs["distance"]),
-            center=tuple(det_grp.attrs["center"]),
-        )
-
-        beam_grp = entry["beam"]
-        beam = Beam(
-            direction=tuple(beam_grp.attrs["direction"]),
-            origin=tuple(beam_grp.attrs["origin"]),
-            energy_min_kev=float(beam_grp.attrs["energy_min_kev"]),
-            energy_max_kev=float(beam_grp.attrs["energy_max_kev"]),
-        )
-
-        metadata = {
-            key[len("meta_"):]: value
-            for key, value in entry.attrs.items()
-            if key.startswith("meta_")
-        }
+        scan, detector, beam, metadata = _read_entry_geometry(entry)
         return WireScanStack(
             images=images,
             scan=scan,
             detector=detector,
+            beam=beam,
+            pixel_mask=pixel_mask,
+            metadata=metadata,
+        )
+
+
+def load_wire_scan_window(path, row_start: int, row_stop: int) -> WireScanStack:
+    """Read only detector rows ``row_start:row_stop`` of a wire-scan file.
+
+    Returns a :class:`WireScanStack` whose detector is the matching row
+    window of the full detector (same lab geometry), reading just the bytes
+    of the requested rows — the windowed counterpart of
+    :func:`load_wire_scan` used by the out-of-core streaming path.
+    """
+    with H5LiteFile(path, "r") as fh:
+        entry = _wire_scan_entry(fh, path)
+        scan, detector, beam, metadata = _read_entry_geometry(entry)
+        if not (0 <= row_start < row_stop <= detector.n_rows):
+            raise H5LiteError(
+                f"invalid row window [{row_start}, {row_stop}) for {detector.n_rows} rows"
+            )
+        images = entry["data/images"].read_window(sub_start=row_start, sub_stop=row_stop)
+        pixel_mask = None
+        if "data/pixel_mask" in entry:
+            pixel_mask = entry["data/pixel_mask"][row_start:row_stop].astype(bool)
+        return WireScanStack(
+            images=images,
+            scan=scan,
+            detector=detector.row_window(row_start, row_stop),
             beam=beam,
             pixel_mask=pixel_mask,
             metadata=metadata,

@@ -13,7 +13,12 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.perf.sweep import SweepRecord
 
-__all__ = ["format_series_table", "format_figure_report", "records_to_series"]
+__all__ = [
+    "format_series_table",
+    "format_figure_report",
+    "format_batch_table",
+    "records_to_series",
+]
 
 
 def records_to_series(
@@ -57,6 +62,34 @@ def format_series_table(
             else:
                 cells.append(f"{'-':>14s}")
         lines.append(f"{x_value:<16s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_batch_table(batch) -> str:
+    """Fixed-width per-file table for a :class:`repro.core.pipeline.BatchReport`.
+
+    One row per scheduled file with its status, wall time and (for successes)
+    the reconstruction accounting; the footer aggregates batch throughput.
+    """
+    header = f"{'file':<40s}{'status':>8s}{'wall (s)':>12s}{'chunks':>8s}{'active':>12s}"
+    lines = [header, "-" * len(header)]
+    for item in batch.items:
+        name = item.input_path
+        if len(name) > 38:
+            name = "..." + name[-35:]
+        if item.ok and item.report is not None:
+            lines.append(
+                f"{name:<40s}{'ok':>8s}{item.wall_time:>12.4f}"
+                f"{item.report.n_chunks:>8d}{item.report.n_active_pixels:>12d}"
+            )
+        else:
+            lines.append(f"{name:<40s}{'FAIL':>8s}{item.wall_time:>12.4f}{'-':>8s}{'-':>12s}")
+            lines.append(f"    error: {item.error}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{batch.n_ok}/{batch.n_files} ok in {batch.wall_time:.4f}s wall "
+        f"({batch.max_workers} worker(s), {batch.throughput_files_per_second:.2f} files/s)"
+    )
     return "\n".join(lines)
 
 

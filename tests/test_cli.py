@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cli import main_benchmark, main_generate, main_reconstruct
+from repro.cli import main_batch, main_benchmark, main_generate, main_reconstruct
 from repro.io.image_stack import load_depth_resolved, load_wire_scan
 
 
@@ -51,6 +51,19 @@ class TestReconstruct:
         with pytest.raises(SystemExit):
             main_reconstruct([str(tmp_path / "x.h5lite"), "--backend", "quantum"])
 
+    def test_streaming_flag_matches_in_memory(self, tmp_path, capsys):
+        scan_path = tmp_path / "scan.h5lite"
+        main_generate([str(scan_path), "--kind", "benchmark", "--size-label", "0.05MB"])
+        mem_path = tmp_path / "mem.h5lite"
+        stream_path = tmp_path / "stream.h5lite"
+        assert main_reconstruct([str(scan_path), "-o", str(mem_path)]) == 0
+        assert main_reconstruct(
+            [str(scan_path), "-o", str(stream_path), "--streaming", "--rows-per-chunk", "2"]
+        ) == 0
+        mem = load_depth_resolved(mem_path)
+        streamed = load_depth_resolved(stream_path)
+        np.testing.assert_array_equal(streamed.data, mem.data)
+
 
 class TestBenchmarkCli:
     def test_fig8_report(self, capsys):
@@ -75,3 +88,36 @@ class TestBenchmarkCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "GPU/CPU time ratio" in out
+
+
+class TestBatchCli:
+    def test_batch_reconstructs_many_files(self, tmp_path, capsys):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"scan_{index}.h5lite"
+            main_generate([str(path), "--kind", "benchmark", "--size-label", "0.05MB",
+                           "--seed", str(index)])
+            paths.append(str(path))
+        capsys.readouterr()
+        out_dir = tmp_path / "depth"
+        code = main_batch(paths + ["-d", str(out_dir), "-j", "3", "--depth-bins", "20",
+                                   "--streaming"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 ok" in out
+        for index in range(3):
+            result = load_depth_resolved(out_dir / f"scan_{index}_depth.h5lite")
+            assert result.grid.n_bins == 20
+            assert result.total_intensity() > 0
+
+    def test_batch_reports_failures_and_exits_nonzero(self, tmp_path, capsys):
+        good = tmp_path / "good.h5lite"
+        main_generate([str(good), "--kind", "benchmark", "--size-label", "0.05MB"])
+        bad = tmp_path / "bad.h5lite"
+        bad.write_bytes(b"garbage")
+        capsys.readouterr()
+        code = main_batch([str(good), str(bad)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1/2 ok" in out
+        assert "FAIL" in out and "H5LiteError" in out

@@ -1,0 +1,369 @@
+"""Engine, out-of-core streaming and batch-scheduler tests.
+
+The load-bearing guarantee of the engine refactor: a streamed reconstruction
+(any ``rows_per_chunk``, any backend, with or without background subtraction
+and pixel masks) is **bitwise identical** to the in-memory reconstruction,
+and never materialises the full image cube.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backends import get_backend
+from repro.core.config import ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.core.engine import (
+    StackChunkSource,
+    build_execution_plan,
+    compute_stack_background,
+    execute_backend,
+)
+from repro.core.pipeline import reconstruct_file, reconstruct_many
+from repro.core.reconstruction import DepthReconstructor
+from repro.io.image_stack import (
+    load_depth_resolved,
+    load_wire_scan,
+    load_wire_scan_window,
+    read_wire_scan_geometry,
+    save_wire_scan,
+)
+from repro.io.streaming import StreamingWireScanSource
+from repro.utils.validation import ValidationError
+from tests.helpers import make_tiny_stack
+
+ALL_BACKENDS = ("cpu_reference", "vectorized", "gpusim", "multiprocess")
+
+
+def _noisy_stack(n_rows=7, n_cols=5, n_positions=17, masked=False, seed=11):
+    """A small stack with per-pixel structure (so chunking bugs cannot hide)."""
+    stack = make_tiny_stack(n_rows=n_rows, n_cols=n_cols, n_positions=n_positions)
+    rng = np.random.default_rng(seed)
+    stack.images = stack.images + rng.random(stack.images.shape) * 5.0
+    if masked:
+        stack.pixel_mask = rng.random((n_rows, n_cols)) > 0.3
+    return stack
+
+
+@pytest.fixture()
+def scan_file(tmp_path):
+    stack = _noisy_stack(masked=True)
+    path = tmp_path / "scan.h5lite"
+    save_wire_scan(path, stack)
+    return str(path), stack
+
+
+# --------------------------------------------------------------------------- #
+class TestStreamedEqualsInMemory:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("rows_per_chunk", [1, 3, None])
+    def test_bitwise_identical(self, tmp_path, backend, rows_per_chunk):
+        stack = _noisy_stack(masked=True)
+        path = tmp_path / "scan.h5lite"
+        save_wire_scan(path, stack)
+        config = ReconstructionConfig(
+            grid=DepthGrid.from_range(0.0, 100.0, 20),
+            backend=backend,
+            rows_per_chunk=rows_per_chunk,
+            subtract_background=True,
+        )
+        in_memory = reconstruct_file(str(path), config)
+        streamed = reconstruct_file(str(path), config.with_overrides(streaming=True))
+        np.testing.assert_array_equal(streamed.result.data, in_memory.result.data)
+        assert streamed.report.n_chunks == in_memory.report.n_chunks
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        rows_per_chunk=st.integers(1, 9),
+        subtract_background=st.booleans(),
+        masked=st.booleans(),
+        backend=st.sampled_from(["vectorized", "gpusim"]),
+    )
+    def test_any_chunking_matches_unchunked(
+        self, tmp_path_factory, rows_per_chunk, subtract_background, masked, backend
+    ):
+        """Streamed with *any* chunk size == in-memory with a single chunk."""
+        stack = _noisy_stack(n_rows=8, masked=masked, seed=5)
+        path = tmp_path_factory.mktemp("hyp") / "scan.h5lite"
+        save_wire_scan(path, stack)
+        grid = DepthGrid.from_range(0.0, 100.0, 16)
+        reference = DepthReconstructor(
+            grid=grid, backend=backend, subtract_background=subtract_background
+        ).reconstruct(stack, return_report=False)
+        config = ReconstructionConfig(
+            grid=grid,
+            backend=backend,
+            rows_per_chunk=rows_per_chunk,
+            subtract_background=subtract_background,
+            streaming=True,
+        )
+        streamed = reconstruct_file(str(path), config)
+        np.testing.assert_array_equal(streamed.result.data, reference.data)
+
+    def test_streamed_background_matches_every_backend(self, scan_file):
+        """With subtract_background on, all four backends agree bit-for-bit
+        (the old per-chunk median made gpusim/multiprocess diverge)."""
+        path, _stack = scan_file
+        grid = DepthGrid.from_range(0.0, 100.0, 18)
+        results = {}
+        for backend in ALL_BACKENDS:
+            config = ReconstructionConfig(
+                grid=grid, backend=backend, rows_per_chunk=2,
+                subtract_background=True, streaming=True,
+            )
+            results[backend] = reconstruct_file(path, config).result.data
+        reference = results["cpu_reference"]
+        for backend in ALL_BACKENDS[1:]:
+            np.testing.assert_allclose(results[backend], reference, rtol=1e-9, atol=1e-12)
+
+
+class TestOutOfCore:
+    def test_peak_resident_slab_is_one_chunk(self, scan_file):
+        path, stack = scan_file
+        config = ReconstructionConfig(
+            grid=DepthGrid.from_range(0.0, 100.0, 20), backend="vectorized",
+            rows_per_chunk=2,
+        )
+        source = StreamingWireScanSource(path)
+        result, report = execute_backend(source, config)
+        accounting = source.accounting()
+        assert accounting["max_resident_rows"] == 2  # never a full-cube read
+        assert accounting["n_window_reads"] == report.n_chunks == 4  # ceil(7 / 2)
+        assert result.total_intensity() > 0
+
+    def test_default_streaming_plan_is_bounded(self, scan_file, monkeypatch):
+        """Without rows_per_chunk, an out-of-core run must still chunk once the
+        cube exceeds the streaming slab budget (never one full-cube read)."""
+        import repro.core.engine as engine_module
+
+        path, stack = scan_file
+        monkeypatch.setattr(engine_module, "STREAMING_CHUNK_BYTES", 4_000)
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 20))
+        for backend in ("vectorized", "multiprocess"):
+            source = StreamingWireScanSource(path)
+            result, report = execute_backend(source, config.with_backend(backend))
+            assert report.n_chunks > 1
+            assert source.accounting()["max_resident_rows"] < stack.n_rows
+            reference = reconstruct_file(path, config.with_backend(backend))
+            np.testing.assert_array_equal(result.data, reference.result.data)
+
+    def test_streaming_source_geometry_matches_file(self, scan_file):
+        path, stack = scan_file
+        source = StreamingWireScanSource(path)
+        assert (source.n_positions, source.n_rows, source.n_cols) == stack.shape
+        np.testing.assert_allclose(source.wire_positions_yz, stack.scan.positions)
+        np.testing.assert_array_equal(source.mask_rows(0, stack.n_rows), stack.pixel_mask)
+        np.testing.assert_array_equal(source.load_rows(2, 5), stack.images[:, 2:5, :])
+        np.testing.assert_array_equal(source.position_image(3), stack.images[3])
+
+    def test_streaming_report_notes_mention_streaming(self, scan_file):
+        path, _stack = scan_file
+        config = ReconstructionConfig(
+            grid=DepthGrid.from_range(0.0, 100.0, 10), rows_per_chunk=3, streaming=True
+        )
+        outcome = reconstruct_file(path, config)
+        assert any("streamed from disk" in note for note in outcome.report.notes)
+        assert any(note.startswith("plan[") for note in outcome.report.notes)
+
+    def test_load_wire_scan_window(self, scan_file):
+        path, stack = scan_file
+        window = load_wire_scan_window(path, 2, 6)
+        np.testing.assert_array_equal(window.images, stack.images[:, 2:6, :])
+        np.testing.assert_array_equal(window.pixel_mask, stack.pixel_mask[2:6])
+        assert window.detector.n_rows == 4
+        # the window's rows keep their absolute lab-frame geometry
+        full = load_wire_scan(path)
+        np.testing.assert_allclose(
+            window.detector.row_yz(), full.detector.row_yz(np.arange(2, 6))
+        )
+
+    def test_read_wire_scan_geometry_reads_no_images(self, scan_file):
+        path, stack = scan_file
+        scan, detector, beam, metadata = read_wire_scan_geometry(path)
+        assert detector.shape == (stack.n_rows, stack.n_cols)
+        assert scan.n_points == stack.n_positions
+
+
+# --------------------------------------------------------------------------- #
+class TestEngine:
+    def test_all_backends_share_engine_plan_note(self, scan_file):
+        path, stack = scan_file
+        grid = DepthGrid.from_range(0.0, 100.0, 12)
+        for backend in ALL_BACKENDS:
+            config = ReconstructionConfig(grid=grid, backend=backend, rows_per_chunk=3)
+            _, report = get_backend(backend).reconstruct(stack, config)
+            assert any(note.startswith("plan[") for note in report.notes), backend
+            assert report.n_chunks == 3  # ceil(7 / 3): identical chunking everywhere
+
+    def test_global_background_shared_across_chunkings(self):
+        stack = _noisy_stack()
+        config = ReconstructionConfig(
+            grid=DepthGrid.from_range(0.0, 100.0, 10), subtract_background=True
+        )
+        background = compute_stack_background(StackChunkSource(stack), config)
+        assert background.shape == (stack.n_positions, 1, 1)
+        np.testing.assert_allclose(
+            background[:, 0, 0], np.median(stack.images, axis=(1, 2))
+        )
+        # chunked gpusim == unchunked vectorized with background on
+        chunked, _ = get_backend("gpusim").reconstruct(
+            stack, config.with_backend("gpusim", rows_per_chunk=2)
+        )
+        unchunked, _ = get_backend("vectorized").reconstruct(
+            stack, config.with_backend("vectorized")
+        )
+        np.testing.assert_allclose(chunked.data, unchunked.data, rtol=1e-9, atol=1e-12)
+
+    def test_host_backends_honour_rows_per_chunk(self):
+        stack = _noisy_stack()
+        grid = DepthGrid.from_range(0.0, 100.0, 10)
+        for backend in ("cpu_reference", "vectorized"):
+            one_chunk, rep_a = get_backend(backend).reconstruct(
+                stack, ReconstructionConfig(grid=grid, backend=backend)
+            )
+            chunked, rep_b = get_backend(backend).reconstruct(
+                stack, ReconstructionConfig(grid=grid, backend=backend, rows_per_chunk=2)
+            )
+            assert rep_a.n_chunks == 1 and rep_b.n_chunks == 4
+            np.testing.assert_array_equal(chunked.data, one_chunk.data)
+
+    def test_execution_plan_summary_and_chunks(self):
+        stack = _noisy_stack()
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 10), rows_per_chunk=3)
+        plan = build_execution_plan(StackChunkSource(stack), config, strategy="host")
+        assert plan.chunks == ((0, 3), (3, 6), (6, 7))
+        assert plan.n_chunks == 3 and plan.rows_per_chunk == 3
+        assert plan.summary().startswith("plan[host]")
+        assert plan.chunk_plan.covers_all_rows()
+
+    def test_compare_backends_validates_up_front(self, scan_file):
+        _path, stack = scan_file
+        reconstructor = DepthReconstructor(grid=DepthGrid.from_range(0.0, 100.0, 10))
+        with pytest.raises(ValidationError):
+            reconstructor.compare_backends(stack, ["vectorized", "no-such-backend"])
+
+    def test_compare_backends_notes_shared_plan(self, scan_file):
+        _path, stack = scan_file
+        reconstructor = DepthReconstructor(
+            grid=DepthGrid.from_range(0.0, 100.0, 10), rows_per_chunk=2
+        )
+        results = reconstructor.compare_backends(stack, ["vectorized", "gpusim"])
+        for _name, (_result, report) in results.items():
+            assert any("compare_backends shared plan:" in note for note in report.notes)
+        # without a fixed chunk size the note must not claim shared chunking
+        loose = DepthReconstructor(grid=DepthGrid.from_range(0.0, 100.0, 10))
+        results = loose.compare_backends(stack, ["vectorized", "multiprocess"])
+        for _name, (_result, report) in results.items():
+            (note,) = [n for n in report.notes if "compare_backends" in n]
+            assert "reference plan" in note and "may chunk differently" in note
+
+    def test_differences_cached(self):
+        stack = _noisy_stack()
+        first = stack.differences(cached=True)
+        assert stack.differences(cached=True) is first
+        assert not first.flags.writeable
+        # the uncached path still returns a fresh, writable cube
+        fresh = stack.differences()
+        assert fresh is not first and fresh.flags.writeable
+        np.testing.assert_array_equal(fresh, first)
+
+
+# --------------------------------------------------------------------------- #
+class TestBatch:
+    def _make_files(self, tmp_path, n=3):
+        paths = []
+        for index in range(n):
+            stack = _noisy_stack(seed=20 + index)
+            path = tmp_path / f"scan_{index}.h5lite"
+            save_wire_scan(path, stack)
+            paths.append(str(path))
+        return paths
+
+    def test_batch_processes_files_concurrently(self, tmp_path):
+        paths = self._make_files(tmp_path, n=3)
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12), streaming=True)
+        batch = reconstruct_many(paths, config, max_workers=3)
+        assert batch.n_files == 3 and batch.n_ok == 3 and batch.n_failed == 0
+        assert batch.max_workers == 3
+        assert [item.input_path for item in batch.items] == paths
+        for item in batch.items:
+            assert item.ok and item.report is not None and item.result is not None
+            assert item.result.total_intensity() > 0
+        assert batch.throughput_files_per_second > 0
+
+    def test_batch_matches_single_file_runs(self, tmp_path):
+        paths = self._make_files(tmp_path, n=3)
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many(paths, config, max_workers=2)
+        for path, item in zip(paths, batch.items):
+            solo = reconstruct_file(path, config)
+            np.testing.assert_array_equal(item.result.data, solo.result.data)
+
+    def test_batch_error_isolation(self, tmp_path):
+        paths = self._make_files(tmp_path, n=2)
+        bad = tmp_path / "broken.h5lite"
+        bad.write_bytes(b"not an h5lite file at all")
+        scheduled = [paths[0], str(bad), paths[1]]
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many(scheduled, config, max_workers=3)
+        assert batch.n_files == 3 and batch.n_ok == 2 and batch.n_failed == 1
+        (failure,) = batch.failed
+        assert failure.input_path == str(bad)
+        assert "H5LiteError" in failure.error
+        for item in batch.succeeded:
+            assert item.result.total_intensity() > 0
+
+    def test_batch_writes_outputs(self, tmp_path):
+        paths = self._make_files(tmp_path, n=2)
+        out_dir = tmp_path / "out"
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many(paths, config, output_dir=str(out_dir), keep_results=False)
+        for item in batch.items:
+            assert item.ok and item.result is None
+            loaded = load_depth_resolved(item.output_path)
+            assert loaded.grid.n_bins == 12
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "scan_0_depth.h5lite",
+            "scan_1_depth.h5lite",
+        ]
+
+    def test_empty_batch(self):
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many([], config)
+        assert batch.n_files == 0 and batch.wall_time == 0.0
+        assert batch.summary().startswith("batch: 0/0")
+
+    def test_batch_summary_mentions_failures(self, tmp_path):
+        bad = tmp_path / "missing.h5lite"
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many([str(bad)], config)
+        assert batch.n_failed == 1
+        assert "FAIL" in batch.summary()
+
+    def test_batch_disambiguates_colliding_output_names(self, tmp_path):
+        stack = _noisy_stack()
+        dirs = []
+        for sub in ("a", "b"):
+            d = tmp_path / sub
+            d.mkdir()
+            save_wire_scan(d / "scan.h5lite", stack)
+            dirs.append(str(d / "scan.h5lite"))
+        out_dir = tmp_path / "out"
+        config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+        batch = reconstruct_many(dirs, config, output_dir=str(out_dir), keep_results=False)
+        assert batch.n_ok == 2
+        outputs = {item.output_path for item in batch.items}
+        assert len(outputs) == 2  # no silent overwrite
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "scan_1_depth.h5lite",
+            "scan_depth.h5lite",
+        ]
+
+    def test_batch_output_suffix_never_collides_with_real_stem(self, tmp_path):
+        """A stem ending in _1 must not be clobbered by a collision suffix."""
+        from repro.core.pipeline import _batch_output_paths
+
+        paths = ["d1/a.h5lite", "d2/a.h5lite", "d3/a_1.h5lite"]
+        names = [p.split("/")[-1] for p in _batch_output_paths(paths, "out")]
+        assert names == ["a_depth.h5lite", "a_1_depth.h5lite", "a_1_1_depth.h5lite"]
+        assert len(set(names)) == 3

@@ -189,3 +189,75 @@ class TestErrors:
             names = [obj.name for obj in fh.root.visit()]
             assert "/a/x" in names and "/a/y" in names and "/b" in names
             assert set(fh["a"].datasets()) == {"x", "y"}
+
+
+class TestWindowedReads:
+    """Sub-axis window reads: the out-of-core streaming primitive."""
+
+    @pytest.fixture()
+    def cube_file(self, tmp_path):
+        rng = np.random.default_rng(42)
+        cube = rng.random((9, 12, 5))
+        path = tmp_path / "cube.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("chunked", cube, chunk_rows=4)
+            fh.create_dataset("contiguous", cube)
+            fh.create_dataset("matrix", cube[0])
+        return path, cube
+
+    def test_read_window_matches_slicing(self, cube_file):
+        path, cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            for name in ("chunked", "contiguous"):
+                ds = fh[name]
+                for (i, j, k, l) in [(0, 9, 0, 12), (2, 7, 3, 9), (0, 1, 11, 12), (8, 9, 0, 1)]:
+                    np.testing.assert_array_equal(
+                        ds.read_window(i, j, k, l), cube[i:j, k:l]
+                    )
+
+    def test_two_axis_getitem(self, cube_file):
+        path, cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            np.testing.assert_array_equal(fh["chunked"][1:6, 2:9], cube[1:6, 2:9])
+            np.testing.assert_array_equal(fh["chunked"][:, 2:9], cube[:, 2:9])
+            np.testing.assert_array_equal(fh["matrix"][3:7, 1:4], cube[0][3:7, 1:4])
+
+    def test_window_defaults_cover_full_axes(self, cube_file):
+        path, cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            np.testing.assert_array_equal(fh["chunked"].read_window(), cube)
+
+    def test_empty_window(self, cube_file):
+        path, cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            out = fh["chunked"].read_window(2, 5, 4, 4)
+            assert out.shape == (3, 0, 5)
+
+    def test_window_clamps_overruns(self, cube_file):
+        path, cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            np.testing.assert_array_equal(
+                fh["chunked"].read_window(5, 99, 10, 99), cube[5:, 10:]
+            )
+
+    def test_window_requires_two_dims(self, tmp_path):
+        path = tmp_path / "vec.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("v", np.arange(6.0))
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(H5LiteError):
+                fh["v"].read_window(0, 3, 0, 1)
+
+    def test_window_rejects_strided_slices(self, cube_file):
+        path, _cube = cube_file
+        with H5LiteFile(path, "r") as fh:
+            with pytest.raises(H5LiteError):
+                fh["chunked"][0:5:2, 0:3]
+            with pytest.raises(H5LiteError):
+                fh["chunked"][0:5, 0:3, 0:1]
+
+    def test_window_read_while_writing(self, tmp_path):
+        cube = np.arange(24.0).reshape(2, 4, 3)
+        with H5LiteFile(tmp_path / "w.h5lite", "w") as fh:
+            ds = fh.create_dataset("c", cube, chunk_rows=1)
+            np.testing.assert_array_equal(ds.read_window(0, 2, 1, 3), cube[:, 1:3])
