@@ -19,7 +19,7 @@ This example explores that design space on a synthetic workload:
 
 from __future__ import annotations
 
-from repro.core import DepthReconstructor
+from repro.core import session
 from repro.core.chunking import plan_row_chunks
 from repro.synthetic import make_benchmark_workload
 from repro.utils.arrays import bytes_to_human
@@ -44,10 +44,10 @@ def main() -> None:
     #    simulated device and compare the modelled device time
     print("\nlayout comparison on a 4 MB simulated device:")
     for layout in ("flat1d", "pointer3d"):
-        reconstructor = DepthReconstructor(
-            grid=grid, backend="gpusim", layout=layout, device_memory_limit=4 * 1024**2
+        sess = session(grid=grid).on(
+            "gpusim", layout=layout, device_memory_limit=4 * 1024**2
         )
-        _, report = reconstructor.reconstruct(stack)
+        report = sess.run(stack).report
         print(f"  {layout:<10s} chunks={report.n_chunks:<3d} launches={report.n_kernel_launches:<4d} "
               f"H2D={bytes_to_human(report.h2d_bytes):>9s}  "
               f"modelled: transfer {report.transfer_time * 1e3:7.2f} ms + compute {report.compute_time * 1e3:7.2f} ms "
@@ -60,10 +60,10 @@ def main() -> None:
     # 3. rows-per-chunk sweep (the Fig. 2 "2 rows at a time" choice)
     print("\nrows-per-chunk sweep (modelled device seconds, flat 1-D layout):")
     for rows in (1, 2, 4, 8, None):
-        reconstructor = DepthReconstructor(
-            grid=grid, backend="gpusim", rows_per_chunk=rows, device_memory_limit=64 * 1024**2
+        sess = session(grid=grid).on(
+            "gpusim", rows_per_chunk=rows, device_memory_limit=64 * 1024**2
         )
-        _, report = reconstructor.reconstruct(stack)
+        report = sess.run(stack).report
         label = "auto" if rows is None else f"{rows:>4d}"
         print(f"  rows/chunk {label:>4s}: {report.n_chunks:>3d} chunks, "
               f"modelled {report.simulated_device_time * 1e3:7.2f} ms")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DepthGrid, DepthReconstructor
+from repro.core import DepthGrid, session
 from repro.synthetic import apply_poisson, make_grain_sample_stack
 
 DEPTH_RANGE = (0.0, 120.0)
@@ -39,16 +39,16 @@ def main() -> None:
               f"emission {grain.emission:.0f}")
 
     # reconstruct with every backend and measure agreement
-    reconstructor = DepthReconstructor(grid=grid, backend="vectorized")
-    results = reconstructor.compare_backends(noisy_stack, ["cpu_reference", "vectorized", "gpusim"])
-    reference = results["cpu_reference"][0]
+    sess = session(grid=grid, backend="vectorized")
+    results = sess.compare(noisy_stack, ["cpu_reference", "vectorized", "gpusim"])
+    reference = results["cpu_reference"].result
     print("\nbackend agreement and timing:")
-    for name, (result, report) in results.items():
-        max_dev = float(np.max(np.abs(result.data - reference.data)))
-        print(f"  {name:<14s} wall {report.wall_time:7.3f} s   max |dev| vs cpu_reference {max_dev:.2e}")
+    for name, run in results.items():
+        max_dev = float(np.max(np.abs(run.result.data - reference.data)))
+        print(f"  {name:<14s} wall {run.report.wall_time:7.3f} s   max |dev| vs cpu_reference {max_dev:.2e}")
 
     # per-grain recovered intensity share
-    result = results["vectorized"][0]
+    result = results["vectorized"].result
     profile = result.integrated_profile()
     print("\nintegrated intensity per grain depth interval (reconstructed vs true):")
     true_profile = source.source.sum(axis=(1, 2))

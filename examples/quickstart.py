@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DepthGrid, DepthReconstructor
+from repro.core import DepthGrid, session
 from repro.geometry import Beam, Detector
 from repro.synthetic import DepthSourceField, design_scan_for_depth_range, simulate_wire_scan
 
@@ -41,13 +41,13 @@ def main() -> None:
     print(f"simulated stack: {stack.n_positions} images of {stack.n_rows}x{stack.n_cols} pixels "
           f"({stack.nbytes / 1e6:.2f} MB)")
 
-    # 4. reconstruct with two backends and cross-check
+    # 4. reconstruct with two backends through the fluent session and cross-check
     grid = DepthGrid.from_range(0.0, 100.0, 50)
-    vectorized = DepthReconstructor(grid=grid, backend="vectorized")
-    gpu_style = vectorized.with_backend("gpusim")
-
-    result_vec, report_vec = vectorized.reconstruct(stack)
-    result_gpu, report_gpu = gpu_style.reconstruct(stack)
+    sess = session(grid=grid)
+    run_vec = sess.on("vectorized").run(stack)
+    run_gpu = sess.on("gpusim").run(stack)
+    result_vec, report_vec = run_vec.result, run_vec.report
+    result_gpu, report_gpu = run_gpu.result, run_gpu.report
     agreement = np.allclose(result_vec.data, result_gpu.data, rtol=1e-9, atol=1e-12)
     print(f"\nvectorized backend: {report_vec.wall_time:.3f} s wall")
     print(f"gpusim backend:     {report_gpu.wall_time:.3f} s wall "

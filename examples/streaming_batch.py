@@ -23,7 +23,7 @@ import tempfile
 import numpy as np
 
 from repro.core import DepthGrid, ReconstructionConfig, execute_backend
-from repro.core.pipeline import reconstruct_file, reconstruct_many
+from repro.core.session import session
 from repro.io import StreamingWireScanSource, save_wire_scan
 from repro.perf.reporting import format_batch_table
 from repro.synthetic.workloads import make_point_source_stack
@@ -44,7 +44,7 @@ def main() -> None:
 
     # 2. in-memory vs streamed: identical results, bounded memory
     config = ReconstructionConfig(grid=grid, backend="vectorized", rows_per_chunk=3)
-    in_memory = reconstruct_file(paths[0], config)
+    in_memory = session(config=config).run(paths[0])
 
     source = StreamingWireScanSource(paths[0])
     streamed_result, streamed_report = execute_backend(source, config)
@@ -60,9 +60,8 @@ def main() -> None:
     broken = os.path.join(workdir, "broken.h5lite")
     with open(broken, "wb") as fh:
         fh.write(b"this is not a wire scan")
-    batch = reconstruct_many(
+    batch = session(grid=grid, backend="vectorized").stream().run_many(
         paths + [broken],
-        ReconstructionConfig(grid=grid, backend="vectorized", streaming=True),
         max_workers=3,
         output_dir=os.path.join(workdir, "depth"),
         keep_results=False,

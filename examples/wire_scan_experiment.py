@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core import DepthGrid
 from repro.core.config import ReconstructionConfig
-from repro.core.pipeline import reconstruct_file
+from repro.core.session import session
 from repro.io import load_depth_resolved, save_wire_scan
 from repro.synthetic import make_grain_sample_stack
 
@@ -55,7 +55,9 @@ def main(output_dir: str | None = None) -> None:
     config = ReconstructionConfig(grid=grid, backend="gpusim", layout="flat1d")
     depth_path = out_dir / "depth_resolved.h5lite"
     text_path = out_dir / "depth_profiles.txt"
-    outcome = reconstruct_file(str(scan_path), config, output_path=str(depth_path), text_path=str(text_path))
+    outcome = session(config=config).run(
+        str(scan_path), output_path=str(depth_path), text_path=str(text_path)
+    )
     print("\nreconstruction report:")
     print(outcome.report.summary())
 

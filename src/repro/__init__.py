@@ -18,27 +18,45 @@ re-implemented in Python with
 
 Quick start::
 
-    from repro.core import DepthGrid, DepthReconstructor
+    import repro
     from repro.synthetic import make_grain_sample_stack
 
     stack, source, sample = make_grain_sample_stack()
-    reconstructor = DepthReconstructor(grid=DepthGrid.from_range(0, 120, 60),
-                                       backend="gpusim")
-    result, report = reconstructor.reconstruct(stack)
-    print(report.summary())
+    run = (repro.session(grid=repro.DepthGrid.from_range(0, 120, 60))
+                .on("gpusim")
+                .run(repro.open(stack)))
+    print(run.report.summary())
+    print(run.to_json())  # provenance: config, plan, timings, source
+
+``repro.open`` normalizes any input (stack, ``.h5lite`` path, glob,
+directory, ndarray+geometry) and ``repro.session`` is the immutable fluent
+builder; ``repro.backends()`` introspects the pluggable backend registry.
 """
 
 from repro import core, cudasim, geometry, io, synthetic, utils
 from repro.core import (
+    BackendInfo,
+    BatchRunResult,
     DepthGrid,
     DepthReconstructor,
     DepthResolvedStack,
     ReconstructionConfig,
+    RunResult,
+    Session,
+    Source,
     WireScanStack,
+    available_backends,
+    backends,
+    open,
+    register_backend,
+    session,
+    unregister_backend,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+# NOTE: repro.open is public API but deliberately absent from __all__, so
+# `from repro import *` never shadows the builtin open (gzip-style).
 __all__ = [
     "core",
     "cudasim",
@@ -46,6 +64,16 @@ __all__ = [
     "io",
     "synthetic",
     "utils",
+    "session",
+    "Session",
+    "Source",
+    "RunResult",
+    "BatchRunResult",
+    "backends",
+    "available_backends",
+    "register_backend",
+    "unregister_backend",
+    "BackendInfo",
     "DepthGrid",
     "DepthReconstructor",
     "DepthResolvedStack",

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Four small tools mirror the original workflow:
+Five small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
@@ -8,17 +8,25 @@ Four small tools mirror the original workflow:
 ``repro-reconstruct``
     Run the depth reconstruction on a wire-scan file and write the
     depth-resolved output (the original program's job).  ``--streaming``
-    selects the out-of-core mode that never loads the full cube.
+    selects the out-of-core mode that never loads the full cube;
+    ``--provenance`` writes the run's JSON provenance record.
 ``repro-batch``
-    Schedule many wire-scan files across a worker pool and print the
-    aggregated batch report.
+    Schedule many wire-scan files (or globs/directories) across a worker
+    pool and print the aggregated batch report.
+``repro-backends``
+    Introspect the pluggable backend registry: names, capability flags and
+    where each backend is defined.
 ``repro-benchmark``
     Run the paper's figure sweeps from the command line.
+
+Everything routes through the ``repro.open()`` / ``repro.session()`` front
+door, so the CLI exercises exactly the code path library users get.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -26,11 +34,12 @@ import numpy as np
 
 from repro.core.config import DifferenceMode, ReconstructionConfig
 from repro.core.depth_grid import DepthGrid
-from repro.core.pipeline import reconstruct_file, reconstruct_many
+from repro.core.registry import available_backends, backends
+from repro.core.session import session
 from repro.geometry.wire import WireEdge
 from repro.utils.logging import configure as configure_logging
 
-__all__ = ["main_generate", "main_reconstruct", "main_batch", "main_benchmark"]
+__all__ = ["main_generate", "main_reconstruct", "main_batch", "main_backends", "main_benchmark"]
 
 
 def _add_reconstruction_args(parser: argparse.ArgumentParser) -> None:
@@ -38,8 +47,7 @@ def _add_reconstruction_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--depth-start", type=float, default=0.0)
     parser.add_argument("--depth-stop", type=float, default=100.0)
     parser.add_argument("--depth-bins", type=int, default=50)
-    parser.add_argument("--backend", default="vectorized",
-                        choices=["cpu_reference", "vectorized", "gpusim", "multiprocess"])
+    parser.add_argument("--backend", default="vectorized", choices=available_backends())
     parser.add_argument("--layout", default="flat1d", choices=["flat1d", "pointer3d"])
     parser.add_argument("--rows-per-chunk", type=int, default=None)
     parser.add_argument("--edge", default="leading", choices=["leading", "trailing"])
@@ -119,19 +127,27 @@ def main_reconstruct(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("input", help="input wire-scan .h5lite file")
     parser.add_argument("-o", "--output", help="output depth-resolved .h5lite file")
     parser.add_argument("--text", help="optional text output of depth profiles")
+    parser.add_argument("--provenance",
+                        help="write the run's JSON provenance record to this path")
     _add_reconstruction_args(parser)
     args = parser.parse_args(argv)
     configure_logging()
 
     config = _config_from_args(args)
-    outcome = reconstruct_file(args.input, config, output_path=args.output, text_path=args.text)
-    print(outcome.report.summary())
-    integrated = outcome.result.integrated_profile()
+    run = session(config=config).run(
+        args.input, output_path=args.output, text_path=args.text
+    )
+    print(run.report.summary())
+    integrated = run.result.integrated_profile()
     peak_bin = int(np.argmax(integrated))
     print(
-        f"integrated depth profile peaks at {outcome.result.grid.index_to_depth(peak_bin):.2f} um "
+        f"integrated depth profile peaks at {run.result.grid.index_to_depth(peak_bin):.2f} um "
         f"({integrated[peak_bin]:.3g} intensity)"
     )
+    if args.provenance:
+        with open(args.provenance, "w", encoding="utf-8") as fh:
+            fh.write(run.to_json())
+        print(f"wrote provenance record to {args.provenance}")
     return 0
 
 
@@ -142,7 +158,8 @@ def main_batch(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-batch",
         description="Depth-reconstruct many wire-scan h5lite files concurrently.",
     )
-    parser.add_argument("inputs", nargs="+", help="input wire-scan .h5lite files")
+    parser.add_argument("inputs", nargs="+",
+                        help="input wire-scan .h5lite files, globs or directories")
     parser.add_argument("-d", "--output-dir",
                         help="directory for per-file depth-resolved outputs (<stem>_depth.h5lite)")
     parser.add_argument("-j", "--max-workers", type=int, default=None,
@@ -154,15 +171,35 @@ def main_batch(argv: Optional[Sequence[str]] = None) -> int:
     from repro.perf.reporting import format_batch_table
 
     config = _config_from_args(args)
-    batch = reconstruct_many(
-        args.inputs,
-        config,
+    batch = session(config=config).run_many(
+        list(args.inputs),
         max_workers=args.max_workers,
         output_dir=args.output_dir,
         keep_results=False,
     )
     print(format_batch_table(batch))
     return 0 if batch.n_failed == 0 else 1
+
+
+# --------------------------------------------------------------------------- #
+def main_backends(argv: Optional[Sequence[str]] = None) -> int:
+    """Introspect the backend registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro-backends",
+        description="List registered reconstruction backends and their capabilities.",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the registry as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    from repro.perf.reporting import format_backend_table
+
+    infos = backends()
+    if args.as_json:
+        print(json.dumps([info.to_dict() for info in infos], indent=2, sort_keys=True))
+    else:
+        print(format_backend_table(infos))
+    return 0
 
 
 # --------------------------------------------------------------------------- #

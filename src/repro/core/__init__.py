@@ -1,12 +1,17 @@
 """Core depth-reconstruction library (the paper's primary contribution).
 
-The public entry point is :class:`~repro.core.reconstruction.DepthReconstructor`
-(configured by :class:`~repro.core.config.ReconstructionConfig`), which turns a
-:class:`~repro.core.stack.WireScanStack` of detector images into a
-:class:`~repro.core.result.DepthResolvedStack`.  The lower-level pieces —
-depth mapping, trapezoid response, histogram accumulation, array layouts,
-row-chunk planning and the execution backends — are exposed for tests,
-benchmarks and users who want to compose them differently.
+The public entry point is the fluent :func:`~repro.core.session.session`
+builder (``repro.session(grid=...).on("gpusim").run(repro.open(x))``), which
+turns anything :func:`~repro.core.source.open` understands — a
+:class:`~repro.core.stack.WireScanStack`, a file, a glob, an
+ndarray+geometry — into a :class:`~repro.core.result.DepthResolvedStack`
+wrapped in a provenance-carrying :class:`~repro.core.session.RunResult`.
+Backends plug in through :mod:`repro.core.registry`.  The lower-level
+pieces — depth mapping, trapezoid response, histogram accumulation, array
+layouts, row-chunk planning and the execution engine — are exposed for
+tests, benchmarks and users who want to compose them differently.
+:class:`~repro.core.reconstruction.DepthReconstructor` remains as a
+deprecated shim.
 """
 
 from repro.core.depth_grid import DepthGrid
@@ -37,8 +42,18 @@ from repro.core.engine import (
     execute,
     execute_backend,
 )
+from repro.core.registry import (
+    BackendInfo,
+    available_backends,
+    backends,
+    get_backend,
+    register_backend,
+    register_backend_info,
+    unregister_backend,
+)
+from repro.core.source import BatchSource, FileSource, Source, StackSource, open
+from repro.core.session import BatchRunResult, RunResult, Session, session
 from repro.core.reconstruction import DepthReconstructor
-from repro.core.backends import available_backends, get_backend
 from repro.core.analysis import (
     find_profile_peaks,
     detect_grain_boundaries,
@@ -74,8 +89,23 @@ __all__ = [
     "execute",
     "execute_backend",
     "DepthReconstructor",
+    "BackendInfo",
     "available_backends",
+    "backends",
     "get_backend",
+    "register_backend",
+    "register_backend_info",
+    "unregister_backend",
+    "Source",
+    "StackSource",
+    "FileSource",
+    "BatchSource",
+    # "open" is public API (repro.core.open) but deliberately absent from
+    # __all__ so star-imports never shadow the builtin open
+    "Session",
+    "RunResult",
+    "BatchRunResult",
+    "session",
     "find_profile_peaks",
     "detect_grain_boundaries",
     "depth_resolution_estimate",

@@ -1,53 +1,32 @@
-"""Backend interface and registry.
+"""Backend interface.
 
 Since the engine refactor a backend is a thin shell: it names itself in the
-registry and supplies a :class:`~repro.core.engine.ChunkExecutor` with the
-per-chunk compute.  The plan → execute → reduce → report control flow lives
-once in :mod:`repro.core.engine`; ``Backend.reconstruct`` just wraps an
-in-memory stack in a :class:`~repro.core.engine.StackChunkSource` and runs
-the engine.
+registry (:mod:`repro.core.registry` — the pluggable table shared by built-in
+and out-of-tree backends alike) and supplies a
+:class:`~repro.core.engine.ChunkExecutor` with the per-chunk compute.  The
+plan → execute → reduce → report control flow lives once in
+:mod:`repro.core.engine`; ``Backend.reconstruct`` just wraps an in-memory
+stack in a :class:`~repro.core.engine.StackChunkSource` and runs the engine.
+
+``register_backend`` / ``get_backend`` / ``available_backends`` are
+re-exported from the registry module for backwards compatibility.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import ReconstructionConfig
 from repro.core.engine import ChunkExecutor, StackChunkSource, execute
 from repro.core.kernels import KernelContext
+from repro.core.registry import available_backends, get_backend, register_backend
 from repro.core.result import DepthResolvedStack, ReconstructionReport
 from repro.core.stack import WireScanStack
-from repro.utils.validation import ValidationError
 
 __all__ = ["Backend", "register_backend", "get_backend", "available_backends", "build_kernel_context"]
-
-_REGISTRY: Dict[str, Type["Backend"]] = {}
-
-
-def register_backend(cls: Type["Backend"]) -> Type["Backend"]:
-    """Class decorator adding a backend to the registry under its ``name``."""
-    if not getattr(cls, "name", None):
-        raise ValidationError("backend classes must define a non-empty 'name'")
-    _REGISTRY[cls.name] = cls
-    return cls
-
-
-def get_backend(name: str) -> "Backend":
-    """Instantiate a backend by name."""
-    try:
-        return _REGISTRY[name]()
-    except KeyError:
-        raise ValidationError(
-            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-
-
-def available_backends() -> List[str]:
-    """Names of all registered backends."""
-    return sorted(_REGISTRY)
 
 
 def build_kernel_context(

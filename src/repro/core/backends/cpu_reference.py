@@ -40,7 +40,11 @@ class CpuReferenceExecutor(ChunkExecutor):
         return ["scalar per-element loop (original CPU program)"]
 
 
-@register_backend
+@register_backend(
+    "cpu_reference",
+    supports_streaming=True,
+    description="scalar per-element loop (the paper's original CPU program)",
+)
 class CpuReferenceBackend(Backend):
     """Scalar per-element reconstruction on the host CPU."""
 

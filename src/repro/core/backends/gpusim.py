@@ -183,7 +183,11 @@ class GpuSimExecutor(ChunkExecutor):
         return [f"device: {self.device.properties.name}"]
 
 
-@register_backend
+@register_backend(
+    "gpusim",
+    supports_streaming=True,
+    description="the paper's CUDA design on the simulated device (Fig. 4 layouts)",
+)
 class GpuSimBackend(Backend):
     """Row-chunked reconstruction on the simulated CUDA device."""
 

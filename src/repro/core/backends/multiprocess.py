@@ -186,7 +186,12 @@ class MultiprocessExecutor(ChunkExecutor):
         return [f"{self._n_workers} worker process(es), {self._n_bands} row band(s)"]
 
 
-@register_backend
+@register_backend(
+    "multiprocess",
+    supports_streaming=True,
+    needs_workers=True,
+    description="detector rows partitioned across a process pool (n_workers)",
+)
 class MultiprocessBackend(Backend):
     """Row-partitioned reconstruction on a process pool."""
 

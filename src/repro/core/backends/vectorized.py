@@ -51,7 +51,11 @@ class VectorizedExecutor(ChunkExecutor):
         return ["host NumPy vectorised execution"]
 
 
-@register_backend
+@register_backend(
+    "vectorized",
+    supports_streaming=True,
+    description="NumPy data-parallel execution on the host (default)",
+)
 class VectorizedBackend(Backend):
     """NumPy data-parallel reconstruction on the host."""
 

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
 
 from repro.core.depth_grid import DepthGrid
 from repro.geometry.wire import WireEdge
@@ -103,6 +103,17 @@ class ReconstructionConfig:
             raise ValidationError("device_memory_limit must be positive when given")
         if int(self.n_workers) < 1:
             raise ValidationError("n_workers must be >= 1")
+        # fail fast on backend typos (with a did-you-mean suggestion) instead
+        # of erroring deep inside reconstruct(); the registry is the single
+        # source of truth for what names exist
+        from repro.core.registry import backend_info
+
+        info = backend_info(self.backend)
+        if self.streaming and not info.supports_streaming:
+            raise ValidationError(
+                f"backend {self.backend!r} does not support streaming "
+                "(supports_streaming=False in its registration)"
+            )
 
     # ------------------------------------------------------------------ #
     def with_backend(self, backend: str, **overrides) -> "ReconstructionConfig":
@@ -112,3 +123,63 @@ class ReconstructionConfig:
     def with_overrides(self, **overrides) -> "ReconstructionConfig":
         """Return a copy with arbitrary fields replaced."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot of every field (run provenance, CLI round-trips).
+
+        Enums are stored by value/name string; the grid is expanded into its
+        ``start``/``step``/``n_bins`` primitives.  :meth:`from_dict` inverts
+        this exactly.
+        """
+        return {
+            "grid": {"start": self.grid.start, "step": self.grid.step, "n_bins": self.grid.n_bins},
+            "wire_edge": self.wire_edge.name.lower(),
+            "difference_mode": self.difference_mode.value,
+            "intensity_cutoff": float(self.intensity_cutoff),
+            "backend": self.backend,
+            "layout": self.layout,
+            "rows_per_chunk": self.rows_per_chunk,
+            "device_memory_limit": self.device_memory_limit,
+            "n_workers": int(self.n_workers),
+            "subtract_background": bool(self.subtract_background),
+            "streaming": bool(self.streaming),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ReconstructionConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected (a provenance file from a newer version
+        should fail loudly, not half-apply), and the full constructor
+        validation — including the registry backend check — runs as usual.
+        """
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationError(f"unknown config field(s): {unknown}; known: {sorted(known)}")
+        if "grid" not in data:
+            raise ValidationError("config dict requires a 'grid' entry")
+        grid = data["grid"]
+        if isinstance(grid, dict):
+            data["grid"] = DepthGrid(**grid)
+        wire_edge = data.get("wire_edge")
+        if isinstance(wire_edge, str):
+            try:
+                data["wire_edge"] = WireEdge[wire_edge.upper()]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown wire_edge {wire_edge!r}; expected one of "
+                    f"{[e.name.lower() for e in WireEdge]}"
+                ) from None
+        mode = data.get("difference_mode")
+        if isinstance(mode, str):
+            try:
+                data["difference_mode"] = DifferenceMode(mode)
+            except ValueError:
+                raise ValidationError(
+                    f"unknown difference_mode {mode!r}; expected one of "
+                    f"{[m.value for m in DifferenceMode]}"
+                ) from None
+        return cls(**data)

@@ -23,7 +23,6 @@ cross-check the two.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np

@@ -1,30 +1,23 @@
-"""File-to-file reconstruction pipeline and the multi-file batch scheduler.
+"""Deprecated file-pipeline shims plus the batch result data model.
 
-Mirrors the structure of the original program: everything except the
-per-pixel reconstruction stays on the host — reading the wire-scan images
-from the (h5lite) container, writing the depth-resolved result back to a
-container file and, optionally, per-pixel depth profiles to a text file.
+The file-to-file pipeline and the multi-file batch scheduler moved behind
+the one front door (:class:`~repro.core.session.Session`):
 
-Two execution modes share the engine path:
+* ``reconstruct_file(path, config, ...)`` →
+  ``repro.session(config=config).run(path, output_path=..., text_path=...)``
+* ``reconstruct_many(paths, config, ...)`` →
+  ``repro.session(config=config).run_many(paths, ...)``
 
-* **in-memory** (default) — the image cube is loaded into host RAM and
-  reconstructed through the backend's executor, as before;
-* **streaming** (``config.streaming=True``) — the engine pulls row-window
-  slabs straight from disk (:class:`repro.io.streaming.StreamingWireScanSource`),
-  so the full cube is never resident; this is the paper's out-of-core access
-  pattern extended from device memory to host memory.
-
-On top of the single-file pipeline, :func:`reconstruct_many` schedules a
-batch of scan files across a worker pool with per-file error isolation and
-returns an aggregated :class:`BatchReport` — the production-throughput mode
-for serving many scans.
+Both old functions remain as thin shims that emit a
+:class:`DeprecationWarning` and delegate, producing bitwise-identical
+outputs.  The batch *data model* (:class:`BatchItem`, :class:`BatchReport`)
+still lives here and is not deprecated — the session's
+:class:`~repro.core.session.BatchRunResult` extends :class:`BatchReport`.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -39,7 +32,7 @@ _LOG = get_logger(__name__)
 
 @dataclass
 class PipelineResult:
-    """Everything produced by one pipeline run."""
+    """Everything produced by one (deprecated) ``reconstruct_file`` run."""
 
     result: DepthResolvedStack
     report: ReconstructionReport
@@ -48,99 +41,11 @@ class PipelineResult:
     text_path: Optional[str]
 
 
-def _reconstruct_streaming(
-    input_path: str, config: ReconstructionConfig
-) -> Tuple[DepthResolvedStack, ReconstructionReport]:
-    """Out-of-core reconstruction: engine chunks stream straight from disk."""
-    from repro.core.engine import execute_backend
-    from repro.io.streaming import StreamingWireScanSource
-
-    source = StreamingWireScanSource(input_path)
-    _LOG.info(
-        "streaming %s: %d images of %dx%d pixels (cube never resident)",
-        input_path,
-        source.n_positions,
-        source.n_rows,
-        source.n_cols,
-    )
-    result, report = execute_backend(source, config)
-    accounting = source.accounting()
-    report.notes.append(
-        "streamed from disk: {n_window_reads} window read(s), "
-        "peak {max_resident_rows} row(s) resident, {bytes_read} bytes read".format(**accounting)
-    )
-    return result, report
-
-
-def reconstruct_file(
-    input_path: str,
-    config: ReconstructionConfig,
-    output_path: Optional[str] = None,
-    text_path: Optional[str] = None,
-    text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
-) -> PipelineResult:
-    """Read a wire-scan file, reconstruct it and write the outputs.
-
-    Parameters
-    ----------
-    input_path:
-        h5lite file produced by :func:`repro.io.save_wire_scan` (or the
-        synthetic workload generator).
-    config:
-        Reconstruction configuration.  With ``config.streaming`` set, the
-        image cube is streamed from disk chunk by chunk instead of being
-        loaded into memory first; the result is bit-identical either way.
-    output_path:
-        Optional h5lite output path for the depth-resolved stack.
-    text_path:
-        Optional text output path; when given, the depth profiles of
-        *text_pixels* (default: the brightest pixel) are written in the
-        column format of the original program.
-    text_pixels:
-        Pixels whose profiles go into the text file.
-    """
-    # imported lazily to keep repro.core importable without repro.io and to
-    # avoid an import cycle (repro.io depends on the core data model)
-    from repro.io.image_stack import load_wire_scan, save_depth_resolved
-    from repro.io.text_output import write_depth_profiles
-
-    if config.streaming:
-        result, report = _reconstruct_streaming(input_path, config)
-    else:
-        from repro.core.reconstruction import DepthReconstructor
-
-        stack = load_wire_scan(input_path)
-        _LOG.info("loaded %s: %s images of %sx%s pixels", input_path, *stack.shape)
-        reconstructor = DepthReconstructor(config=config)
-        result, report = reconstructor.reconstruct(stack)
-
-    if output_path is not None:
-        save_depth_resolved(output_path, result)
-        _LOG.info("wrote depth-resolved stack to %s", output_path)
-
-    if text_path is not None:
-        if text_pixels is None:
-            # default: the pixel with the largest integrated signal
-            totals = result.data.sum(axis=0)
-            row, col = divmod(int(totals.argmax()), result.n_cols)
-            text_pixels = [(row, col)]
-        write_depth_profiles(text_path, result, text_pixels)
-        _LOG.info("wrote %d depth profile(s) to %s", len(list(text_pixels)), text_path)
-
-    return PipelineResult(
-        result=result,
-        report=report,
-        input_path=str(input_path),
-        output_path=None if output_path is None else str(output_path),
-        text_path=None if text_path is None else str(text_path),
-    )
-
-
 # --------------------------------------------------------------------------- #
-# batch scheduling
+# batch data model (not deprecated: BatchRunResult extends BatchReport)
 @dataclass
 class BatchItem:
-    """Outcome of one file in a batch run."""
+    """Outcome of one item in a batch run."""
 
     input_path: str
     ok: bool
@@ -153,7 +58,7 @@ class BatchItem:
 
 @dataclass
 class BatchReport:
-    """Aggregated outcome of a :func:`reconstruct_many` run."""
+    """Aggregated outcome of a batch run."""
 
     items: List[BatchItem] = field(default_factory=list)
     wall_time: float = 0.0
@@ -164,17 +69,17 @@ class BatchReport:
     # ------------------------------------------------------------------ #
     @property
     def n_files(self) -> int:
-        """Number of scheduled files."""
+        """Number of scheduled items."""
         return len(self.items)
 
     @property
     def n_ok(self) -> int:
-        """Number of files reconstructed successfully."""
+        """Number of items reconstructed successfully."""
         return sum(1 for item in self.items if item.ok)
 
     @property
     def n_failed(self) -> int:
-        """Number of files that raised."""
+        """Number of items that raised."""
         return self.n_files - self.n_ok
 
     @property
@@ -189,12 +94,12 @@ class BatchReport:
 
     @property
     def total_file_seconds(self) -> float:
-        """Sum of per-file wall times (> ``wall_time`` when the pool overlaps)."""
+        """Sum of per-item wall times (> ``wall_time`` when the pool overlaps)."""
         return sum(item.wall_time for item in self.items)
 
     @property
     def throughput_files_per_second(self) -> float:
-        """Completed files per second of batch wall time."""
+        """Completed items per second of batch wall time."""
         if self.wall_time <= 0:
             return 0.0
         return self.n_ok / self.wall_time
@@ -216,26 +121,42 @@ class BatchReport:
         return "\n".join(lines)
 
 
-def _batch_output_paths(paths: Sequence[str], output_dir: str) -> List[str]:
-    """One ``<stem>_depth.h5lite`` per input; colliding names get a numeric suffix.
+# --------------------------------------------------------------------------- #
+# deprecated shims
+def reconstruct_file(
+    input_path: str,
+    config: ReconstructionConfig,
+    output_path: Optional[str] = None,
+    text_path: Optional[str] = None,
+    text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
+) -> PipelineResult:
+    """Deprecated: use ``repro.session(config=...).run(path, ...)``.
 
-    Inputs from different directories may share a basename — without
-    disambiguation their outputs would silently overwrite each other.  Every
-    generated name is reserved, so a suffixed name can never collide with a
-    later input whose stem happens to end in ``_<n>``.
+    Reads a wire-scan file, reconstructs it (streaming straight from disk
+    when ``config.streaming`` is set) and writes the optional outputs —
+    exactly as before, via the session front door.
     """
-    used: set = set()
-    out: List[str] = []
-    for path in paths:
-        stem = os.path.splitext(os.path.basename(str(path)))[0]
-        name = f"{stem}_depth.h5lite"
-        suffix = 1
-        while name in used:
-            name = f"{stem}_{suffix}_depth.h5lite"
-            suffix += 1
-        used.add(name)
-        out.append(os.path.join(output_dir, name))
-    return out
+    warnings.warn(
+        "reconstruct_file() is deprecated; use "
+        "repro.session(config=config).run(path, output_path=..., text_path=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.session import session
+
+    run = session(config=config).run(
+        str(input_path),
+        output_path=output_path,
+        text_path=text_path,
+        text_pixels=text_pixels,
+    )
+    return PipelineResult(
+        result=run.result,
+        report=run.report,
+        input_path=str(input_path),
+        output_path=run.output_path,
+        text_path=run.text_path,
+    )
 
 
 def reconstruct_many(
@@ -245,84 +166,27 @@ def reconstruct_many(
     output_dir: Optional[str] = None,
     keep_results: bool = True,
 ) -> BatchReport:
-    """Reconstruct a batch of wire-scan files on a worker pool.
+    """Deprecated: use ``repro.session(config=...).run_many(paths, ...)``.
 
-    Files are scheduled onto ``max_workers`` threads (default: up to 4, never
-    more than the number of files).  A failure in one file is isolated: it is
-    recorded on that file's :class:`BatchItem` and the rest of the batch
-    continues.
-
-    Parameters
-    ----------
-    paths:
-        Input wire-scan files.
-    config:
-        Shared reconstruction configuration (``config.streaming`` selects
-        out-of-core execution per file).
-    max_workers:
-        Concurrent reconstructions.  Thread-based: NumPy kernels and file
-        I/O release the GIL for long stretches, and the multiprocess backend
-        brings its own process pool.
-    output_dir:
-        When given, each file's depth-resolved result is written to
-        ``<output_dir>/<stem>_depth.h5lite`` (the directory is created).
-    keep_results:
-        Keep each file's :class:`DepthResolvedStack` on its item.  Disable
-        for very large batches where only the reports (or the written output
-        files) are wanted.
+    Schedules the batch on the session's worker pool with the same
+    per-file error isolation and returns the aggregated report (now a
+    :class:`~repro.core.session.BatchRunResult`, a ``BatchReport``
+    subclass).
     """
-    paths = [str(p) for p in paths]
-    if not paths:
-        return BatchReport(items=[], wall_time=0.0, max_workers=0,
-                           backend=config.backend, streaming=config.streaming)
-    if max_workers is None:
-        max_workers = min(4, len(paths))
-    max_workers = max(1, min(int(max_workers), len(paths)))
-    output_paths: List[Optional[str]] = [None] * len(paths)
-    if output_dir is not None:
-        os.makedirs(output_dir, exist_ok=True)
-        output_paths = list(_batch_output_paths(paths, output_dir))
-
-    def run_one(job: Tuple[str, Optional[str]]) -> BatchItem:
-        input_path, output_path = job
-        start = time.perf_counter()
-        try:
-            outcome = reconstruct_file(input_path, config, output_path=output_path)
-        except Exception as exc:  # per-file isolation: record, don't abort the batch
-            wall = time.perf_counter() - start
-            _LOG.warning("batch: %s failed after %.3fs: %s", input_path, wall, exc)
-            return BatchItem(
-                input_path=input_path,
-                ok=False,
-                wall_time=wall,
-                output_path=output_path,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        wall = time.perf_counter() - start
-        return BatchItem(
-            input_path=input_path,
-            ok=True,
-            wall_time=wall,
-            output_path=outcome.output_path,
-            report=outcome.report,
-            result=outcome.result if keep_results else None,
-        )
-
-    jobs = list(zip(paths, output_paths))
-    start = time.perf_counter()
-    if max_workers == 1:
-        items = [run_one(job) for job in jobs]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            items = list(pool.map(run_one, jobs))
-    wall = time.perf_counter() - start
-
-    report = BatchReport(
-        items=items,
-        wall_time=wall,
-        max_workers=max_workers,
-        backend=config.backend,
-        streaming=config.streaming,
+    warnings.warn(
+        "reconstruct_many() is deprecated; use "
+        "repro.session(config=config).run_many(paths, ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    _LOG.info("batch finished: %s", report.summary().splitlines()[0])
-    return report
+    from repro.core.session import session
+    from repro.core.source import FileSource
+
+    # each path is exactly one literal file (never glob/directory-expanded),
+    # preserving the historical 1:1 paths-to-items mapping callers rely on
+    return session(config=config).run_many(
+        [FileSource(str(path)) for path in paths],
+        max_workers=max_workers,
+        output_dir=output_dir,
+        keep_results=keep_results,
+    )

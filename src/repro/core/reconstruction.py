@@ -1,29 +1,44 @@
-"""High-level reconstruction API.
+"""Deprecated high-level API shim.
 
-``DepthReconstructor`` is the public entry point: configure it once (depth
-grid, wire edge, backend, device constraints) and call
-:meth:`DepthReconstructor.reconstruct` on any :class:`WireScanStack`.
+``DepthReconstructor`` was the original public entry point.  It is now a
+thin, deprecated wrapper over the one front door —
+:func:`repro.session` / :class:`~repro.core.session.Session` — kept so
+existing callers keep working with bitwise-identical outputs::
+
+    # old                                     # new
+    DepthReconstructor(grid=g, backend="gpusim").reconstruct(stack)
+    repro.session(grid=g).on("gpusim").run(stack)
+
+Constructing a ``DepthReconstructor`` emits a :class:`DeprecationWarning`;
+every method delegates to an internal :class:`~repro.core.session.Session`.
+Unlike the historical implementation, the report is never lost: even
+``reconstruct(return_report=False)`` keeps the full
+:class:`~repro.core.session.RunResult` (report, provenance and all) on
+:attr:`DepthReconstructor.last_run`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
-from repro.core.backends import get_backend
 from repro.core.config import ReconstructionConfig
 from repro.core.depth_grid import DepthGrid
 from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.session import RunResult, Session, session
 from repro.core.stack import WireScanStack
-from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
 __all__ = ["DepthReconstructor"]
 
-_LOG = get_logger(__name__)
+_DEPRECATION = (
+    "DepthReconstructor is deprecated; use the Session front door instead: "
+    "repro.session(grid=...).on(backend).run(repro.open(stack))"
+)
 
 
 class DepthReconstructor:
-    """Reconstructs depth-resolved intensity from wire-scan image stacks.
+    """Deprecated: use :func:`repro.session` instead.
 
     Parameters
     ----------
@@ -35,13 +50,6 @@ class DepthReconstructor:
     **overrides:
         Any :class:`~repro.core.config.ReconstructionConfig` field, applied on
         top of the defaults when *config* is not given.
-
-    Examples
-    --------
-    >>> from repro.core import DepthGrid, DepthReconstructor
-    >>> grid = DepthGrid.from_range(0.0, 100.0, 50)
-    >>> reconstructor = DepthReconstructor(grid=grid, backend="vectorized")
-    >>> # result, report = reconstructor.reconstruct(stack)
     """
 
     def __init__(
@@ -53,31 +61,52 @@ class DepthReconstructor:
         if config is None:
             if grid is None:
                 raise ValidationError("either a ReconstructionConfig or a DepthGrid must be provided")
-            config = ReconstructionConfig(grid=grid, **overrides)
         elif overrides or grid is not None:
             raise ValidationError("pass either a full config or grid+overrides, not both")
-        self.config = config
+        # the session constructor applies the same config/grid/overrides rules
+        self._session = session(config=config, grid=grid, **overrides)
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        #: the full RunResult of the most recent reconstruct() call — the
+        #: report is retained even with return_report=False
+        self.last_run: Optional[RunResult] = None
 
     # ------------------------------------------------------------------ #
     @property
+    def config(self) -> ReconstructionConfig:
+        """The underlying configuration."""
+        return self._session.config
+
+    @config.setter
+    def config(self, value: ReconstructionConfig) -> None:
+        # the historical class exposed config as a writable attribute
+        self._session = Session(config=value)
+
+    @property
     def grid(self) -> DepthGrid:
         """The depth grid of this reconstructor."""
-        return self.config.grid
+        return self._session.grid
 
     @property
     def backend_name(self) -> str:
         """Name of the configured backend."""
-        return self.config.backend
+        return self._session.backend_name
+
+    @property
+    def session(self) -> Session:
+        """The equivalent non-deprecated :class:`Session`."""
+        return self._session
 
     def with_backend(self, backend: str, **overrides) -> "DepthReconstructor":
         """A copy of this reconstructor using a different backend."""
-        return DepthReconstructor(config=self.config.with_backend(backend, **overrides))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)  # warned once already
+            return DepthReconstructor(config=self.config.with_backend(backend, **overrides))
 
     # ------------------------------------------------------------------ #
     def reconstruct(
         self, stack: WireScanStack, return_report: bool = True
     ) -> Tuple[DepthResolvedStack, ReconstructionReport] | DepthResolvedStack:
-        """Run the reconstruction.
+        """Run the reconstruction (deprecated; use ``Session.run``).
 
         Parameters
         ----------
@@ -85,62 +114,21 @@ class DepthReconstructor:
             The wire-scan image stack.
         return_report:
             When true (default) return ``(result, report)``; otherwise return
-            only the result.
+            only the result — the report is still available on
+            :attr:`last_run`.
         """
-        backend = get_backend(self.config.backend)
-        _LOG.debug(
-            "reconstructing %s stack with backend %s", stack.shape, self.config.backend
-        )
-        result, report = backend.reconstruct(stack, self.config)
-        _LOG.debug("reconstruction finished: %s", report.summary().replace("\n", " | "))
+        run = self._session.run(stack)
+        self.last_run = run
         if return_report:
-            return result, report
-        return result
+            return run.result, run.report
+        return run.result
 
     def compare_backends(self, stack: WireScanStack, backends) -> dict:
         """Run several backends on the same stack and collect their reports.
 
-        Returns a mapping ``backend name -> (result, report)``; useful for
-        correctness cross-checks and for the benchmark harness.
-
-        Every backend name is validated (and each backend instantiated)
-        *before* any reconstruction runs, so a typo in the last name cannot
-        waste the runs before it.  Each report's notes additionally carry a
-        reference engine plan summary for this stack/config.  With
-        ``config.rows_per_chunk`` fixed, every backend runs that exact
-        chunking and the comparison is attributable to identical chunks;
-        when it is unset the note says so explicitly and each backend's own
-        plan note records what it actually ran.
+        Deprecated; use :meth:`~repro.core.session.Session.compare`, which
+        returns :class:`~repro.core.session.RunResult` objects.  This shim
+        keeps the historical ``name -> (result, report)`` mapping shape.
         """
-        names = [str(name) for name in backends]
-        resolved = [get_backend(name) for name in names]  # validates up front
-
-        from repro.core.chunking import plan_row_chunks
-        from repro.core.engine import HOST_MEMORY_BYTES
-
-        # reference chunking for the notes; background (if any) is computed by
-        # each run itself, so no extra pass over the stack happens here
-        reference = plan_row_chunks(
-            n_rows=stack.n_rows,
-            n_cols=stack.n_cols,
-            n_positions=stack.n_positions,
-            n_depth_bins=self.config.grid.n_bins,
-            device_memory_bytes=HOST_MEMORY_BYTES,
-            layout=self.config.layout,
-            rows_per_chunk=self.config.rows_per_chunk,
-        )
-        if self.config.rows_per_chunk is not None:
-            shared_note = f"compare_backends shared plan: {reference.summary()}"
-        else:
-            shared_note = (
-                f"compare_backends reference plan: {reference.summary()} "
-                "(rows_per_chunk unset: backends may chunk differently; "
-                "each report's own plan note is authoritative)"
-            )
-
-        out = {}
-        for name, backend in zip(names, resolved):
-            result, report = backend.reconstruct(stack, self.config.with_backend(name))
-            report.notes.append(shared_note)
-            out[name] = (result, report)
-        return out
+        runs = self._session.compare(stack, backends)
+        return {name: (run.result, run.report) for name, run in runs.items()}

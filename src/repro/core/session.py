@@ -1,0 +1,529 @@
+"""The fluent front door: ``repro.session(...)`` → :class:`Session` → :class:`RunResult`.
+
+One composable entry point replaces the three historical ones
+(``DepthReconstructor.reconstruct``, ``pipeline.reconstruct_file``,
+``pipeline.reconstruct_many``)::
+
+    import repro
+
+    run = (repro.session(grid=repro.DepthGrid.from_range(0, 120, 60))
+                .on("gpusim", layout="pointer3d")
+                .stream(rows_per_chunk=4)
+                .run(repro.open("scan.h5lite")))
+    print(run.report.summary())
+    print(run.to_json())          # provenance: config, plan, timings, source
+
+A :class:`Session` is an immutable builder over a
+:class:`~repro.core.config.ReconstructionConfig`: every fluent method
+(:meth:`Session.on`, :meth:`Session.stream`, ...) returns a *new* session, so
+sessions can be shared and forked freely.  :meth:`Session.run` executes one
+source through the shared engine and returns a :class:`RunResult` that always
+carries the result cube, the report and a JSON-serializable provenance
+record; :meth:`Session.run_many` is the batch scheduler (worker pool,
+per-item error isolation, aggregated :class:`BatchRunResult`).
+
+Any input :func:`repro.open` understands is accepted wherever a source is
+expected — in-memory stacks, files, globs, directories, ndarray+geometry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.core.engine import execute as engine_execute
+from repro.core.pipeline import BatchItem, BatchReport
+from repro.core.registry import get_backend
+from repro.core.result import DepthResolvedStack, ReconstructionReport
+from repro.core.source import FileSource, InvalidSource, Source, open as open_source
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+__all__ = ["RunResult", "BatchRunResult", "Session", "session"]
+
+_LOG = get_logger(__name__)
+
+
+def _repro_version() -> str:
+    """The package version, resolved lazily to avoid an import cycle."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - only during partial imports
+        return "unknown"
+
+
+# --------------------------------------------------------------------------- #
+# run results
+@dataclass
+class RunResult:
+    """Everything one :meth:`Session.run` produced.
+
+    Always carries the report next to the result (the old
+    ``reconstruct(return_report=False)`` shape silently dropped it) plus a
+    provenance record — config snapshot, plan summary, timings and source
+    identity — serializable with :meth:`to_json`.
+    """
+
+    result: DepthResolvedStack
+    report: ReconstructionReport
+    config: ReconstructionConfig
+    source: Dict = field(default_factory=dict)
+    created_unix: float = 0.0
+    output_path: Optional[str] = None
+    text_path: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self):
+        """The depth-resolved intensity cube ``(n_bins, n_rows, n_cols)``."""
+        return self.result.data
+
+    @property
+    def wall_time(self) -> float:
+        """Reconstruction wall time in seconds."""
+        return self.report.wall_time
+
+    @property
+    def plan_summary(self) -> Optional[str]:
+        """The engine's chunk-plan note for this run, if present."""
+        return next((note for note in self.report.notes if note.startswith("plan[")), None)
+
+    # ------------------------------------------------------------------ #
+    def provenance(self) -> Dict:
+        """JSON-safe record of what ran, on what, and how long it took."""
+        return {
+            "repro_version": _repro_version(),
+            "created_unix": self.created_unix,
+            "backend": self.report.backend,
+            "config": self.config.to_dict(),
+            "source": dict(self.source),
+            "plan": self.plan_summary,
+            "timings": {
+                "wall_time": self.report.wall_time,
+                "compute_time": self.report.compute_time,
+                "transfer_time": self.report.transfer_time,
+                "simulated_device_time": self.report.simulated_device_time,
+            },
+            "counters": {
+                "n_chunks": self.report.n_chunks,
+                "n_kernel_launches": self.report.n_kernel_launches,
+                "n_threads_launched": self.report.n_threads_launched,
+                "n_active_pixels": self.report.n_active_pixels,
+                "n_steps": self.report.n_steps,
+            },
+            "notes": list(self.report.notes),
+            "outputs": {"output_path": self.output_path, "text_path": self.text_path},
+        }
+
+    def to_dict(self) -> Dict:
+        """Alias of :meth:`provenance` (the serializable view of the run)."""
+        return self.provenance()
+
+    def to_json(self, indent: int = 2) -> str:
+        """The provenance record as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """Human-readable run summary (report plus source identity)."""
+        return f"source: {self.source}\n{self.report.summary()}"
+
+    # ------------------------------------------------------------------ #
+    def save(self, output_path) -> "RunResult":
+        """Write the depth-resolved stack to an h5lite file."""
+        from repro.io.image_stack import save_depth_resolved
+
+        save_depth_resolved(output_path, self.result)
+        self.output_path = str(output_path)
+        _LOG.info("wrote depth-resolved stack to %s", output_path)
+        return self
+
+    def write_profiles(self, text_path, pixels: Optional[Sequence[Tuple[int, int]]] = None) -> "RunResult":
+        """Write per-pixel depth profiles as text (default: the brightest pixel)."""
+        from repro.io.text_output import write_depth_profiles
+
+        if pixels is None:
+            totals = self.result.data.sum(axis=0)
+            row, col = divmod(int(totals.argmax()), self.result.n_cols)
+            pixels = [(row, col)]
+        write_depth_profiles(text_path, self.result, pixels)
+        self.text_path = str(text_path)
+        _LOG.info("wrote %d depth profile(s) to %s", len(list(pixels)), text_path)
+        return self
+
+
+@dataclass
+class BatchRunResult(BatchReport):
+    """A :class:`~repro.core.pipeline.BatchReport` plus run provenance.
+
+    Everything the old batch scheduler reported (items, throughput,
+    ``summary()``) is inherited unchanged; on top of it the batch carries the
+    config snapshot and source identity, serializable with :meth:`to_json`.
+    """
+
+    config: Optional[ReconstructionConfig] = None
+    source: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record of the batch run."""
+        return {
+            "repro_version": _repro_version(),
+            "backend": self.backend,
+            "streaming": self.streaming,
+            "config": None if self.config is None else self.config.to_dict(),
+            "source": dict(self.source),
+            "max_workers": self.max_workers,
+            "wall_time": self.wall_time,
+            "n_files": self.n_files,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "throughput_files_per_second": self.throughput_files_per_second,
+            "items": [
+                {
+                    "input_path": item.input_path,
+                    "ok": item.ok,
+                    "wall_time": item.wall_time,
+                    "output_path": item.output_path,
+                    "error": item.error,
+                }
+                for item in self.items
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The batch provenance record as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# the fluent builder
+def _output_names(stems: Sequence[str], output_dir: str) -> List[str]:
+    """One ``<stem>_depth.h5lite`` per item; colliding names get a numeric suffix.
+
+    Items from different directories may share a stem — without
+    disambiguation their outputs would silently overwrite each other.  Every
+    generated name is reserved, so a suffixed name can never collide with a
+    later item whose stem happens to end in ``_<n>``.
+    """
+    used: set = set()
+    out: List[str] = []
+    for stem in stems:
+        name = f"{stem}_depth.h5lite"
+        suffix = 1
+        while name in used:
+            name = f"{stem}_{suffix}_depth.h5lite"
+            suffix += 1
+        used.add(name)
+        out.append(os.path.join(output_dir, name))
+    return out
+
+
+def _item_path(source: Source) -> str:
+    """The per-item identifier batch tables key on (path for files)."""
+    if isinstance(source, FileSource):
+        return source.path
+    return source.label()
+
+
+@dataclass(frozen=True)
+class Session:
+    """An immutable, fluent reconstruction front door.
+
+    Build one with :func:`repro.session`, refine it with the fluent methods
+    (each returns a **new** session) and execute with :meth:`run` /
+    :meth:`run_many`::
+
+        sess = repro.session(grid=grid).on("gpusim", layout="pointer3d").stream(4)
+        run = sess.run(stack_or_path)
+    """
+
+    config: ReconstructionConfig
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> DepthGrid:
+        """The depth grid of this session."""
+        return self.config.grid
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the configured backend."""
+        return self.config.backend
+
+    def on(self, backend: str, **overrides) -> "Session":
+        """A session running on a different backend (plus config overrides)."""
+        return Session(config=self.config.with_backend(backend, **overrides))
+
+    def stream(self, rows_per_chunk: Optional[int] = None) -> "Session":
+        """A session streaming file sources from disk (out-of-core mode)."""
+        overrides: Dict = {"streaming": True}
+        if rows_per_chunk is not None:
+            overrides["rows_per_chunk"] = rows_per_chunk
+        return Session(config=self.config.with_overrides(**overrides))
+
+    def in_memory(self) -> "Session":
+        """A session loading file sources fully into host memory."""
+        return Session(config=self.config.with_overrides(streaming=False))
+
+    def configure(self, **overrides) -> "Session":
+        """A session with arbitrary config fields replaced."""
+        return Session(config=self.config.with_overrides(**overrides))
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        src,
+        *,
+        output_path=None,
+        text_path=None,
+        text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> RunResult:
+        """Reconstruct one source and return the :class:`RunResult`.
+
+        *src* is anything :func:`repro.open` accepts (except a batch — use
+        :meth:`run_many`).  ``output_path`` / ``text_path`` optionally write
+        the h5lite result and text depth profiles, exactly like the old file
+        pipeline did.
+        """
+        source = open_source(src)
+        if source.is_batch:
+            raise ValidationError(
+                f"Session.run() reconstructs a single source, got {source.label()}; "
+                "use Session.run_many() for batches"
+            )
+        created = time.time()
+        backend = get_backend(self.config.backend)
+        chunk_source = source.chunk_source(self.config)
+        _LOG.debug("session: %s via %s", chunk_source.describe(), self.config.backend)
+        result, report = engine_execute(
+            chunk_source, self.config, backend.make_executor(self.config)
+        )
+        accounting_note = getattr(chunk_source, "accounting_note", None)
+        if accounting_note is not None:
+            report.notes.append(accounting_note())
+        run = RunResult(
+            result=result,
+            report=report,
+            config=self.config,
+            source=source.identity(),
+            created_unix=created,
+        )
+        if output_path is not None:
+            run.save(output_path)
+        if text_path is not None:
+            run.write_profiles(text_path, pixels=text_pixels)
+        return run
+
+    def run_many(
+        self,
+        srcs,
+        *,
+        max_workers: Optional[int] = None,
+        output_dir: Optional[str] = None,
+        keep_results: bool = True,
+    ) -> BatchRunResult:
+        """Reconstruct a batch of sources on a worker pool.
+
+        Items are scheduled onto ``max_workers`` threads (default: up to 4,
+        never more than the number of items).  A failure in one item is
+        isolated: it is recorded on that item's
+        :class:`~repro.core.pipeline.BatchItem` and the rest of the batch
+        continues.
+
+        Parameters
+        ----------
+        srcs:
+            Anything :func:`repro.open` accepts — a list of paths/stacks, a
+            glob, a directory, or a single source (a batch of one).
+        max_workers:
+            Concurrent reconstructions.  Thread-based: NumPy kernels and file
+            I/O release the GIL for long stretches, and the multiprocess
+            backend brings its own process pool.
+        output_dir:
+            When given, each item's depth-resolved result is written to
+            ``<output_dir>/<stem>_depth.h5lite`` (the directory is created).
+        keep_results:
+            Keep each item's :class:`~repro.core.result.DepthResolvedStack`
+            on its batch item.  Disable for very large batches where only
+            the reports (or the written output files) are wanted.
+        """
+        if isinstance(srcs, (list, tuple)):
+            # per-entry isolation: an entry that cannot even be normalized
+            # (bad glob, empty directory, unsupported type) becomes a failed
+            # item, and the rest of the batch still runs
+            sources: List[Source] = []
+            for entry in srcs:
+                try:
+                    sources.extend(open_source(entry).items())
+                except ValidationError as exc:
+                    sources.append(InvalidSource(entry, exc))
+        else:
+            sources = open_source(srcs).items()
+        identity = {
+            "kind": "batch", "n_items": len(sources),
+            "items": [source.identity() for source in sources],
+        }
+        if not sources:
+            return BatchRunResult(
+                items=[], wall_time=0.0, max_workers=0,
+                backend=self.config.backend, streaming=self.config.streaming,
+                config=self.config, source=identity,
+            )
+        if max_workers is None:
+            max_workers = min(4, len(sources))
+        max_workers = max(1, min(int(max_workers), len(sources)))
+        output_paths: List[Optional[str]] = [None] * len(sources)
+        if output_dir is not None:
+            os.makedirs(output_dir, exist_ok=True)
+            output_paths = _output_names([source.label() for source in sources], output_dir)
+
+        def run_one(job: Tuple[Source, Optional[str]]) -> BatchItem:
+            source, item_output = job
+            start = time.perf_counter()
+            try:
+                outcome = self.run(source, output_path=item_output)
+            except Exception as exc:  # per-item isolation: record, don't abort
+                wall = time.perf_counter() - start
+                _LOG.warning("batch: %s failed after %.3fs: %s", _item_path(source), wall, exc)
+                return BatchItem(
+                    input_path=_item_path(source),
+                    ok=False,
+                    wall_time=wall,
+                    output_path=item_output,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            wall = time.perf_counter() - start
+            return BatchItem(
+                input_path=_item_path(source),
+                ok=True,
+                wall_time=wall,
+                output_path=outcome.output_path,
+                report=outcome.report,
+                result=outcome.result if keep_results else None,
+            )
+
+        jobs = list(zip(sources, output_paths))
+        start = time.perf_counter()
+        if max_workers == 1:
+            items = [run_one(job) for job in jobs]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                items = list(pool.map(run_one, jobs))
+        wall = time.perf_counter() - start
+
+        outcome = BatchRunResult(
+            items=items,
+            wall_time=wall,
+            max_workers=max_workers,
+            backend=self.config.backend,
+            streaming=self.config.streaming,
+            config=self.config,
+            source=identity,
+        )
+        _LOG.info("batch finished: %s", outcome.summary().splitlines()[0])
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    def compare(self, src, backends) -> Dict[str, RunResult]:
+        """Run several backends on the same source and collect their runs.
+
+        Returns a mapping ``backend name -> RunResult``; useful for
+        correctness cross-checks and for the benchmark harness.
+
+        Every backend name is validated (and each backend instantiated)
+        *before* any reconstruction runs, so a typo in the last name cannot
+        waste the runs before it.  Each report's notes additionally carry a
+        reference engine plan summary for this source/config.  With
+        ``config.rows_per_chunk`` fixed, every backend runs that exact
+        chunking and the comparison is attributable to identical chunks;
+        when it is unset the note says so explicitly and each backend's own
+        plan note records what it actually ran.
+        """
+        source = open_source(src)
+        if source.is_batch:
+            raise ValidationError("Session.compare() takes a single source, not a batch")
+        names = [str(name) for name in backends]
+        for name in names:
+            get_backend(name)  # validates (with did-you-mean) up front
+
+        from repro.core.chunking import plan_row_chunks
+        from repro.core.engine import HOST_MEMORY_BYTES
+
+        # reference chunking for the notes; background (if any) is computed by
+        # each run itself, so no extra pass over the data happens here.
+        if isinstance(source, FileSource):
+            if self.config.streaming:
+                # header-only probe; each backend's run streams for itself
+                from repro.io.streaming import StreamingWireScanSource
+
+                probe = StreamingWireScanSource(source.path)
+            else:
+                # load the cube once and share it across every backend run,
+                # instead of re-reading the file per backend
+                from repro.core.source import StackSource
+                from repro.io.image_stack import load_wire_scan
+
+                source = StackSource(load_wire_scan(source.path))
+                probe = source.chunk_source(self.config)
+        else:
+            probe = source.chunk_source(self.config)
+        reference = plan_row_chunks(
+            n_rows=probe.n_rows,
+            n_cols=probe.n_cols,
+            n_positions=probe.n_positions,
+            n_depth_bins=self.config.grid.n_bins,
+            device_memory_bytes=HOST_MEMORY_BYTES,
+            layout=self.config.layout,
+            rows_per_chunk=self.config.rows_per_chunk,
+        )
+        if self.config.rows_per_chunk is not None:
+            shared_note = f"compare_backends shared plan: {reference.summary()}"
+        else:
+            shared_note = (
+                f"compare_backends reference plan: {reference.summary()} "
+                "(rows_per_chunk unset: backends may chunk differently; "
+                "each report's own plan note is authoritative)"
+            )
+
+        out: Dict[str, RunResult] = {}
+        for name in names:
+            run = self.on(name).run(source)
+            run.report.notes.append(shared_note)
+            out[name] = run
+        return out
+
+
+def session(
+    config: Optional[ReconstructionConfig] = None,
+    grid: Optional[DepthGrid] = None,
+    **overrides,
+) -> Session:
+    """Build a :class:`Session` — the one front door to the reconstruction.
+
+    Parameters
+    ----------
+    config:
+        Full reconstruction configuration.  Alternatively pass ``grid`` and
+        keyword overrides and a default configuration is built.
+    grid:
+        Depth grid (required when *config* is not given).
+    **overrides:
+        Any :class:`~repro.core.config.ReconstructionConfig` field, applied
+        on top of the defaults when *config* is not given.
+    """
+    if config is None:
+        if grid is None:
+            raise ValidationError(
+                "either a ReconstructionConfig or a DepthGrid (grid=...) must be provided"
+            )
+        config = ReconstructionConfig(grid=grid, **overrides)
+    elif overrides or grid is not None:
+        raise ValidationError("pass either a full config or grid+overrides, not both")
+    return Session(config=config)

@@ -8,7 +8,7 @@ named in the paper's evaluation section.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.cudasim.errors import LaunchConfigError

@@ -97,3 +97,15 @@ class StreamingWireScanSource(ChunkSource):
             "n_window_reads": self.n_window_reads,
             "bytes_read": self.bytes_read,
         }
+
+    def accounting_note(self) -> str:
+        """Report note proving the out-of-core property of the run.
+
+        The session appends this to the run report after a streamed
+        execution (the engine's chunk loop has finished by then, so the
+        counters are final).
+        """
+        return (
+            "streamed from disk: {n_window_reads} window read(s), "
+            "peak {max_resident_rows} row(s) resident, {bytes_read} bytes read"
+        ).format(**self.accounting())

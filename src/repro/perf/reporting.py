@@ -17,6 +17,7 @@ __all__ = [
     "format_series_table",
     "format_figure_report",
     "format_batch_table",
+    "format_backend_table",
     "records_to_series",
 ]
 
@@ -90,6 +91,26 @@ def format_batch_table(batch) -> str:
         f"{batch.n_ok}/{batch.n_files} ok in {batch.wall_time:.4f}s wall "
         f"({batch.max_workers} worker(s), {batch.throughput_files_per_second:.2f} files/s)"
     )
+    return "\n".join(lines)
+
+
+def format_backend_table(infos) -> str:
+    """Fixed-width capability table for the ``repro-backends`` CLI.
+
+    One row per :class:`~repro.core.registry.BackendInfo` with its capability
+    flags, defining module and description.
+    """
+    header = f"{'backend':<16s}{'streaming':>10s}{'workers':>9s}  {'module':<36s}description"
+    lines = [header, "-" * max(len(header), 72)]
+    for info in infos:
+        lines.append(
+            f"{info.name:<16s}"
+            f"{'yes' if info.supports_streaming else 'no':>10s}"
+            f"{'yes' if info.needs_workers else 'no':>9s}"
+            f"  {info.module:<36s}{info.description}"
+        )
+    lines.append("-" * max(len(header), 72))
+    lines.append(f"{len(infos)} backend(s) registered")
     return "\n".join(lines)
 
 

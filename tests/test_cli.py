@@ -1,9 +1,11 @@
 """Tests for the command-line entry points."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import main_batch, main_benchmark, main_generate, main_reconstruct
+from repro.cli import main_backends, main_batch, main_benchmark, main_generate, main_reconstruct
 from repro.io.image_stack import load_depth_resolved, load_wire_scan
 
 
@@ -51,6 +53,22 @@ class TestReconstruct:
         with pytest.raises(SystemExit):
             main_reconstruct([str(tmp_path / "x.h5lite"), "--backend", "quantum"])
 
+    def test_provenance_record_written(self, tmp_path, capsys):
+        scan_path = tmp_path / "scan.h5lite"
+        main_generate([str(scan_path), "--kind", "benchmark", "--size-label", "0.05MB"])
+        record_path = tmp_path / "run.json"
+        code = main_reconstruct([
+            str(scan_path), "--backend", "gpusim", "--depth-bins", "20",
+            "--provenance", str(record_path),
+        ])
+        assert code == 0
+        record = json.loads(record_path.read_text())
+        assert record["backend"] == "gpusim"
+        assert record["config"]["grid"]["n_bins"] == 20
+        assert record["source"]["path"] == str(scan_path)
+        assert record["plan"].startswith("plan[")
+        assert "wrote provenance record" in capsys.readouterr().out
+
     def test_streaming_flag_matches_in_memory(self, tmp_path, capsys):
         scan_path = tmp_path / "scan.h5lite"
         main_generate([str(scan_path), "--kind", "benchmark", "--size-label", "0.05MB"])
@@ -88,6 +106,24 @@ class TestBenchmarkCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "GPU/CPU time ratio" in out
+
+
+class TestBackendsCli:
+    def test_table_lists_builtins_and_capabilities(self, capsys):
+        assert main_backends([]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpu_reference", "vectorized", "gpusim", "multiprocess"):
+            assert name in out
+        assert "streaming" in out and "workers" in out
+        assert "4 backend(s) registered" in out or "backend(s) registered" in out
+
+    def test_json_payload(self, capsys):
+        assert main_backends(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["multiprocess"]["needs_workers"] is True
+        assert by_name["gpusim"]["supports_streaming"] is True
+        assert by_name["vectorized"]["module"] == "repro.core.backends.vectorized"
 
 
 class TestBatchCli:

@@ -10,7 +10,7 @@ from repro.core.analysis import (
     profile_fwhm,
 )
 from repro.core.depth_grid import DepthGrid
-from repro.core.reconstruction import DepthReconstructor
+from repro.core.session import session
 from repro.core.result import DepthResolvedStack
 from repro.utils.validation import ValidationError
 
@@ -93,7 +93,7 @@ class TestGrainBoundariesAndResolution:
 
     def test_resolution_estimate_on_reconstruction(self, point_source_stack, grid):
         stack, _ = point_source_stack
-        result, _ = DepthReconstructor(grid=grid).reconstruct(stack)
+        result = session(grid=grid).run(stack).result
         resolution = depth_resolution_estimate(result)
         # the point emitter should reconstruct to a narrow profile: a few bins
         assert grid.step <= resolution <= 12 * grid.step

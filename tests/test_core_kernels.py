@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.backends.base import build_kernel_context
 from repro.core.config import DifferenceMode, ReconstructionConfig
-from repro.core.depth_grid import DepthGrid
 from repro.core.kernels import (
     depth_resolve_chunk_scalar,
     depth_resolve_chunk_vectorized,

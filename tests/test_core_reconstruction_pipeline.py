@@ -1,26 +1,38 @@
-"""Tests for the high-level DepthReconstructor API and the file pipeline."""
+"""Tests for the deprecated shims (DepthReconstructor, file pipeline).
+
+The old entry points must keep working — same signatures, same return
+shapes, bitwise-identical outputs — while emitting ``DeprecationWarning``
+and delegating to the Session front door.  New code should use
+``repro.session`` / ``repro.open`` (tested in ``test_session_source.py``).
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.config import ReconstructionConfig
-from repro.core.depth_grid import DepthGrid
 from repro.core.pipeline import reconstruct_file
 from repro.core.reconstruction import DepthReconstructor
+from repro.core.session import session
 from repro.io.image_stack import load_depth_resolved, save_wire_scan
 from repro.io.text_output import read_depth_profiles
 from repro.utils.validation import ValidationError
 
 
-class TestDepthReconstructor:
+def _reconstructor(*args, **kwargs) -> DepthReconstructor:
+    """Build the deprecated reconstructor, asserting it warns."""
+    with pytest.warns(DeprecationWarning, match="DepthReconstructor is deprecated"):
+        return DepthReconstructor(*args, **kwargs)
+
+
+class TestDepthReconstructorShim:
     def test_construct_from_grid(self, depth_grid):
-        reconstructor = DepthReconstructor(grid=depth_grid, backend="vectorized")
+        reconstructor = _reconstructor(grid=depth_grid, backend="vectorized")
         assert reconstructor.backend_name == "vectorized"
         assert reconstructor.grid is depth_grid
 
     def test_construct_from_config(self, depth_grid):
         config = ReconstructionConfig(grid=depth_grid, backend="gpusim")
-        reconstructor = DepthReconstructor(config=config)
+        reconstructor = _reconstructor(config=config)
         assert reconstructor.backend_name == "gpusim"
 
     def test_requires_grid_or_config(self):
@@ -34,24 +46,44 @@ class TestDepthReconstructor:
 
     def test_reconstruct_returns_report_by_default(self, point_source_stack, depth_grid):
         stack, _ = point_source_stack
-        reconstructor = DepthReconstructor(grid=depth_grid)
+        reconstructor = _reconstructor(grid=depth_grid)
         result, report = reconstructor.reconstruct(stack)
         assert result.shape[0] == depth_grid.n_bins
         assert report.backend == "vectorized"
 
-    def test_reconstruct_without_report(self, point_source_stack, depth_grid):
+    def test_reconstruct_without_report_keeps_report_on_last_run(
+        self, point_source_stack, depth_grid
+    ):
+        """return_report=False keeps the old return shape but no longer loses
+        the report: the full RunResult stays on .last_run."""
         stack, _ = point_source_stack
-        result = DepthReconstructor(grid=depth_grid).reconstruct(stack, return_report=False)
+        reconstructor = _reconstructor(grid=depth_grid)
+        result = reconstructor.reconstruct(stack, return_report=False)
         assert result.shape[0] == depth_grid.n_bins
+        assert reconstructor.last_run is not None
+        assert reconstructor.last_run.result is result
+        assert reconstructor.last_run.report.backend == "vectorized"
+        assert reconstructor.last_run.report.n_chunks >= 1
 
     def test_with_backend(self, depth_grid):
-        reconstructor = DepthReconstructor(grid=depth_grid).with_backend("gpusim", layout="pointer3d")
+        reconstructor = _reconstructor(grid=depth_grid).with_backend("gpusim", layout="pointer3d")
         assert reconstructor.backend_name == "gpusim"
         assert reconstructor.config.layout == "pointer3d"
 
+    def test_exposes_equivalent_session(self, depth_grid):
+        reconstructor = _reconstructor(grid=depth_grid, backend="gpusim")
+        assert reconstructor.session.config == reconstructor.config
+
+    def test_config_remains_assignable(self, depth_grid):
+        """The historical class exposed config as a writable attribute."""
+        reconstructor = _reconstructor(grid=depth_grid)
+        reconstructor.config = reconstructor.config.with_overrides(rows_per_chunk=4)
+        assert reconstructor.config.rows_per_chunk == 4
+        assert reconstructor.session.config.rows_per_chunk == 4
+
     def test_compare_backends(self, point_source_stack, depth_grid):
         stack, _ = point_source_stack
-        reconstructor = DepthReconstructor(grid=depth_grid)
+        reconstructor = _reconstructor(grid=depth_grid)
         results = reconstructor.compare_backends(stack, ["vectorized", "gpusim"])
         assert set(results) == {"vectorized", "gpusim"}
         np.testing.assert_allclose(
@@ -59,14 +91,14 @@ class TestDepthReconstructor:
         )
 
     def test_point_source_recovered_near_true_depth(self, point_source_stack, depth_grid):
-        stack, source = point_source_stack
-        result, _ = DepthReconstructor(grid=depth_grid).reconstruct(stack)
+        stack, _source = point_source_stack
+        result, _ = _reconstructor(grid=depth_grid).reconstruct(stack)
         integrated = result.integrated_profile()
         peak_depth = depth_grid.index_to_depth(int(np.argmax(integrated)))
         assert abs(peak_depth - 40.0) <= 2.5 * depth_grid.step
 
 
-class TestPipeline:
+class TestPipelineShims:
     def test_file_to_file_roundtrip(self, point_source_stack, depth_grid, tmp_path):
         stack, _ = point_source_stack
         input_path = tmp_path / "scan.h5lite"
@@ -75,12 +107,15 @@ class TestPipeline:
         save_wire_scan(input_path, stack)
 
         config = ReconstructionConfig(grid=depth_grid, backend="vectorized")
-        outcome = reconstruct_file(
-            str(input_path), config, output_path=str(output_path), text_path=str(text_path)
-        )
+        with pytest.warns(DeprecationWarning, match="reconstruct_file"):
+            outcome = reconstruct_file(
+                str(input_path), config, output_path=str(output_path), text_path=str(text_path)
+            )
         assert outcome.result.total_intensity() > 0
         assert output_path.exists()
         assert text_path.exists()
+        assert outcome.input_path == str(input_path)
+        assert outcome.output_path == str(output_path)
 
         # the saved depth-resolved stack must round-trip
         loaded = load_depth_resolved(output_path)
@@ -98,8 +133,9 @@ class TestPipeline:
         input_path = tmp_path / "scan.h5lite"
         save_wire_scan(input_path, stack)
         config = ReconstructionConfig(grid=depth_grid, backend="vectorized")
-        outcome = reconstruct_file(str(input_path), config)
-        direct, _ = DepthReconstructor(config=config).reconstruct(stack)
+        with pytest.warns(DeprecationWarning, match="reconstruct_file"):
+            outcome = reconstruct_file(str(input_path), config)
+        direct = session(config=config).run(stack).result
         np.testing.assert_allclose(outcome.result.data, direct.data, rtol=1e-9, atol=1e-12)
 
     def test_pipeline_with_explicit_text_pixels(self, point_source_stack, depth_grid, tmp_path):
@@ -108,11 +144,15 @@ class TestPipeline:
         text_path = tmp_path / "profiles.txt"
         save_wire_scan(input_path, stack)
         config = ReconstructionConfig(grid=depth_grid)
-        reconstruct_file(str(input_path), config, text_path=str(text_path), text_pixels=[(0, 0), (1, 1)])
+        with pytest.warns(DeprecationWarning, match="reconstruct_file"):
+            reconstruct_file(
+                str(input_path), config, text_path=str(text_path), text_pixels=[(0, 0), (1, 1)]
+            )
         _, profiles = read_depth_profiles(text_path)
         assert set(profiles) == {(0, 0), (1, 1)}
 
     def test_missing_input_raises(self, depth_grid, tmp_path):
         config = ReconstructionConfig(grid=depth_grid)
-        with pytest.raises(Exception):
-            reconstruct_file(str(tmp_path / "nope.h5lite"), config)
+        with pytest.warns(DeprecationWarning, match="reconstruct_file"):
+            with pytest.raises(Exception):
+                reconstruct_file(str(tmp_path / "nope.h5lite"), config)

@@ -19,8 +19,7 @@ from repro.core.engine import (
     compute_stack_background,
     execute_backend,
 )
-from repro.core.pipeline import reconstruct_file, reconstruct_many
-from repro.core.reconstruction import DepthReconstructor
+from repro.core.session import _output_names, session
 from repro.io.image_stack import (
     load_depth_resolved,
     load_wire_scan,
@@ -67,8 +66,8 @@ class TestStreamedEqualsInMemory:
             rows_per_chunk=rows_per_chunk,
             subtract_background=True,
         )
-        in_memory = reconstruct_file(str(path), config)
-        streamed = reconstruct_file(str(path), config.with_overrides(streaming=True))
+        in_memory = session(config=config).run(str(path))
+        streamed = session(config=config.with_overrides(streaming=True)).run(str(path))
         np.testing.assert_array_equal(streamed.result.data, in_memory.result.data)
         assert streamed.report.n_chunks == in_memory.report.n_chunks
 
@@ -87,9 +86,9 @@ class TestStreamedEqualsInMemory:
         path = tmp_path_factory.mktemp("hyp") / "scan.h5lite"
         save_wire_scan(path, stack)
         grid = DepthGrid.from_range(0.0, 100.0, 16)
-        reference = DepthReconstructor(
+        reference = session(
             grid=grid, backend=backend, subtract_background=subtract_background
-        ).reconstruct(stack, return_report=False)
+        ).run(stack).result
         config = ReconstructionConfig(
             grid=grid,
             backend=backend,
@@ -97,7 +96,7 @@ class TestStreamedEqualsInMemory:
             subtract_background=subtract_background,
             streaming=True,
         )
-        streamed = reconstruct_file(str(path), config)
+        streamed = session(config=config).run(str(path))
         np.testing.assert_array_equal(streamed.result.data, reference.data)
 
     def test_streamed_background_matches_every_backend(self, scan_file):
@@ -111,7 +110,7 @@ class TestStreamedEqualsInMemory:
                 grid=grid, backend=backend, rows_per_chunk=2,
                 subtract_background=True, streaming=True,
             )
-            results[backend] = reconstruct_file(path, config).result.data
+            results[backend] = session(config=config).run(path).result.data
         reference = results["cpu_reference"]
         for backend in ALL_BACKENDS[1:]:
             np.testing.assert_allclose(results[backend], reference, rtol=1e-9, atol=1e-12)
@@ -144,7 +143,7 @@ class TestOutOfCore:
             result, report = execute_backend(source, config.with_backend(backend))
             assert report.n_chunks > 1
             assert source.accounting()["max_resident_rows"] < stack.n_rows
-            reference = reconstruct_file(path, config.with_backend(backend))
+            reference = session(config=config.with_backend(backend)).run(path)
             np.testing.assert_array_equal(result.data, reference.result.data)
 
     def test_streaming_source_geometry_matches_file(self, scan_file):
@@ -161,7 +160,7 @@ class TestOutOfCore:
         config = ReconstructionConfig(
             grid=DepthGrid.from_range(0.0, 100.0, 10), rows_per_chunk=3, streaming=True
         )
-        outcome = reconstruct_file(path, config)
+        outcome = session(config=config).run(path)
         assert any("streamed from disk" in note for note in outcome.report.notes)
         assert any(note.startswith("plan[") for note in outcome.report.notes)
 
@@ -238,23 +237,23 @@ class TestEngine:
 
     def test_compare_backends_validates_up_front(self, scan_file):
         _path, stack = scan_file
-        reconstructor = DepthReconstructor(grid=DepthGrid.from_range(0.0, 100.0, 10))
+        sess = session(grid=DepthGrid.from_range(0.0, 100.0, 10))
         with pytest.raises(ValidationError):
-            reconstructor.compare_backends(stack, ["vectorized", "no-such-backend"])
+            sess.compare(stack, ["vectorized", "no-such-backend"])
 
     def test_compare_backends_notes_shared_plan(self, scan_file):
         _path, stack = scan_file
-        reconstructor = DepthReconstructor(
+        sess = session(
             grid=DepthGrid.from_range(0.0, 100.0, 10), rows_per_chunk=2
         )
-        results = reconstructor.compare_backends(stack, ["vectorized", "gpusim"])
-        for _name, (_result, report) in results.items():
-            assert any("compare_backends shared plan:" in note for note in report.notes)
+        results = sess.compare(stack, ["vectorized", "gpusim"])
+        for _name, run in results.items():
+            assert any("compare_backends shared plan:" in note for note in run.report.notes)
         # without a fixed chunk size the note must not claim shared chunking
-        loose = DepthReconstructor(grid=DepthGrid.from_range(0.0, 100.0, 10))
-        results = loose.compare_backends(stack, ["vectorized", "multiprocess"])
-        for _name, (_result, report) in results.items():
-            (note,) = [n for n in report.notes if "compare_backends" in n]
+        loose = session(grid=DepthGrid.from_range(0.0, 100.0, 10))
+        results = loose.compare(stack, ["vectorized", "multiprocess"])
+        for _name, run in results.items():
+            (note,) = [n for n in run.report.notes if "compare_backends" in n]
             assert "reference plan" in note and "may chunk differently" in note
 
     def test_differences_cached(self):
@@ -282,7 +281,7 @@ class TestBatch:
     def test_batch_processes_files_concurrently(self, tmp_path):
         paths = self._make_files(tmp_path, n=3)
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12), streaming=True)
-        batch = reconstruct_many(paths, config, max_workers=3)
+        batch = session(config=config).run_many(paths, max_workers=3)
         assert batch.n_files == 3 and batch.n_ok == 3 and batch.n_failed == 0
         assert batch.max_workers == 3
         assert [item.input_path for item in batch.items] == paths
@@ -294,9 +293,9 @@ class TestBatch:
     def test_batch_matches_single_file_runs(self, tmp_path):
         paths = self._make_files(tmp_path, n=3)
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many(paths, config, max_workers=2)
+        batch = session(config=config).run_many(paths, max_workers=2)
         for path, item in zip(paths, batch.items):
-            solo = reconstruct_file(path, config)
+            solo = session(config=config).run(path)
             np.testing.assert_array_equal(item.result.data, solo.result.data)
 
     def test_batch_error_isolation(self, tmp_path):
@@ -305,7 +304,7 @@ class TestBatch:
         bad.write_bytes(b"not an h5lite file at all")
         scheduled = [paths[0], str(bad), paths[1]]
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many(scheduled, config, max_workers=3)
+        batch = session(config=config).run_many(scheduled, max_workers=3)
         assert batch.n_files == 3 and batch.n_ok == 2 and batch.n_failed == 1
         (failure,) = batch.failed
         assert failure.input_path == str(bad)
@@ -317,7 +316,7 @@ class TestBatch:
         paths = self._make_files(tmp_path, n=2)
         out_dir = tmp_path / "out"
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many(paths, config, output_dir=str(out_dir), keep_results=False)
+        batch = session(config=config).run_many(paths, output_dir=str(out_dir), keep_results=False)
         for item in batch.items:
             assert item.ok and item.result is None
             loaded = load_depth_resolved(item.output_path)
@@ -329,14 +328,14 @@ class TestBatch:
 
     def test_empty_batch(self):
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many([], config)
+        batch = session(config=config).run_many([])
         assert batch.n_files == 0 and batch.wall_time == 0.0
         assert batch.summary().startswith("batch: 0/0")
 
     def test_batch_summary_mentions_failures(self, tmp_path):
         bad = tmp_path / "missing.h5lite"
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many([str(bad)], config)
+        batch = session(config=config).run_many([str(bad)])
         assert batch.n_failed == 1
         assert "FAIL" in batch.summary()
 
@@ -350,7 +349,7 @@ class TestBatch:
             dirs.append(str(d / "scan.h5lite"))
         out_dir = tmp_path / "out"
         config = ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
-        batch = reconstruct_many(dirs, config, output_dir=str(out_dir), keep_results=False)
+        batch = session(config=config).run_many(dirs, output_dir=str(out_dir), keep_results=False)
         assert batch.n_ok == 2
         outputs = {item.output_path for item in batch.items}
         assert len(outputs) == 2  # no silent overwrite
@@ -361,9 +360,7 @@ class TestBatch:
 
     def test_batch_output_suffix_never_collides_with_real_stem(self, tmp_path):
         """A stem ending in _1 must not be clobbered by a collision suffix."""
-        from repro.core.pipeline import _batch_output_paths
-
-        paths = ["d1/a.h5lite", "d2/a.h5lite", "d3/a_1.h5lite"]
-        names = [p.split("/")[-1] for p in _batch_output_paths(paths, "out")]
+        stems = ["a", "a", "a_1"]  # e.g. d1/a.h5lite, d2/a.h5lite, d3/a_1.h5lite
+        names = [p.split("/")[-1] for p in _output_names(stems, "out")]
         assert names == ["a_depth.h5lite", "a_1_depth.h5lite", "a_1_1_depth.h5lite"]
         assert len(set(names)) == 3

@@ -10,9 +10,9 @@ kernels, chunking and IO in between.
 import numpy as np
 import pytest
 
-from repro.core.config import DifferenceMode, ReconstructionConfig
+from repro.core.config import DifferenceMode
 from repro.core.depth_grid import DepthGrid
-from repro.core.reconstruction import DepthReconstructor
+from repro.core.session import session
 from repro.geometry.beam import Beam
 from repro.geometry.detector import Detector
 from repro.geometry.wire import WireEdge
@@ -32,7 +32,7 @@ class TestPointSourceRecovery:
         scan = design_scan_for_depth_range(detector, (0.0, 100.0), n_points=161)
         stack = simulate_wire_scan(source, scan, detector, Beam())
 
-        result, _ = DepthReconstructor(grid=grid, backend="vectorized").reconstruct(stack)
+        result = session(grid=grid, backend="vectorized").run(stack).result
         peak_depth = grid.index_to_depth(int(np.argmax(result.integrated_profile())))
         assert abs(peak_depth - true_depth) <= 2.0 * grid.step
 
@@ -52,7 +52,7 @@ class TestPointSourceRecovery:
         )
         scan = design_scan_for_depth_range(detector, (0.0, 100.0), n_points=201)
         stack = simulate_wire_scan(combined, scan, detector, Beam())
-        result, _ = DepthReconstructor(grid=grid).reconstruct(stack)
+        result = session(grid=grid).run(stack).result
         profile = result.integrated_profile()
 
         # both peaks present, separated by a clear dip
@@ -73,7 +73,7 @@ class TestPointSourceRecovery:
         source = DepthSourceField.point_source(detector, 50.0, depth_samples, intensity=300.0)
         scan = design_scan_for_depth_range(detector, (0.0, 100.0), n_points=161)
         stack = simulate_wire_scan(source, scan, detector, Beam())
-        result, _ = DepthReconstructor(grid=grid).reconstruct(stack)
+        result = session(grid=grid).run(stack).result
         # every pixel's depth-integrated reconstructed intensity should be
         # close to what the pixel records without the wire
         recon_total = result.data.sum(axis=0)
@@ -85,8 +85,8 @@ class TestRobustness:
     def test_rectified_mode_close_to_signed_in_single_edge_regime(self, session_point_stack):
         stack, _ = session_point_stack
         grid = DepthGrid.from_range(0.0, 100.0, 40)
-        signed, _ = DepthReconstructor(grid=grid, difference_mode=DifferenceMode.SIGNED).reconstruct(stack)
-        rectified, _ = DepthReconstructor(grid=grid, difference_mode=DifferenceMode.RECTIFIED).reconstruct(stack)
+        signed = session(grid=grid, difference_mode=DifferenceMode.SIGNED).run(stack).result
+        rectified = session(grid=grid, difference_mode=DifferenceMode.RECTIFIED).run(stack).result
         # in the single-edge regime the signed differences are non-negative,
         # so rectification changes (almost) nothing
         assert rectified.total_intensity() <= signed.total_intensity() + 1e-9
@@ -97,8 +97,8 @@ class TestRobustness:
         grid = DepthGrid.from_range(0.0, 100.0, 40)
         rng = np.random.default_rng(0)
         noisy = apply_poisson(stack, rng, scale=5.0)
-        clean_result, _ = DepthReconstructor(grid=grid).reconstruct(stack)
-        noisy_result, _ = DepthReconstructor(grid=grid).reconstruct(noisy)
+        clean_result = session(grid=grid).run(stack).result
+        noisy_result = session(grid=grid).run(noisy).result
         clean_peak = grid.index_to_depth(int(np.argmax(clean_result.integrated_profile())))
         noisy_peak = grid.index_to_depth(int(np.argmax(noisy_result.integrated_profile())))
         assert abs(noisy_peak - clean_peak) <= 3.0 * grid.step
@@ -106,8 +106,10 @@ class TestRobustness:
     def test_intensity_cutoff_reduces_work_but_keeps_peak(self, session_point_stack):
         stack, _ = session_point_stack
         grid = DepthGrid.from_range(0.0, 100.0, 40)
-        full, full_report = DepthReconstructor(grid=grid).reconstruct(stack)
-        cut, cut_report = DepthReconstructor(grid=grid, intensity_cutoff=1.0).reconstruct(stack)
+        full_run = session(grid=grid).run(stack)
+        cut_run = session(grid=grid, intensity_cutoff=1.0).run(stack)
+        full, full_report = full_run.result, full_run.report
+        cut, cut_report = cut_run.result, cut_run.report
         assert cut_report.n_active_pixels <= full_report.n_active_pixels
         full_peak = np.argmax(full.integrated_profile())
         cut_peak = np.argmax(cut.integrated_profile())
@@ -140,7 +142,7 @@ class TestRobustness:
         )
         stack = simulate_wire_scan(source, scan, detector, Beam())
 
-        result, _ = DepthReconstructor(grid=grid, wire_edge=WireEdge.TRAILING).reconstruct(stack)
+        result = session(grid=grid, wire_edge=WireEdge.TRAILING).run(stack).result
         peak_depth = grid.index_to_depth(int(np.argmax(result.integrated_profile())))
         assert abs(peak_depth - 55.0) <= 2.5 * grid.step
 
@@ -151,7 +153,7 @@ class TestGrainSampleRecovery:
             n_rows=24, n_cols=24, n_grains=2, n_positions=161, seed=5, depth_range=(0.0, 120.0)
         )
         grid = DepthGrid.from_range(0.0, 120.0, 60)
-        result, _ = DepthReconstructor(grid=grid, backend="vectorized").reconstruct(stack)
+        result = session(grid=grid, backend="vectorized").run(stack).result
 
         truth = source.true_centroid_depth()
         recon = result.centroid_depth()

@@ -48,15 +48,15 @@ class TestWireScanIO:
         np.testing.assert_array_equal(loaded.pixel_mask, mask)
 
     def test_reconstruction_identical_after_roundtrip(self, tmp_path, point_source_stack, depth_grid):
-        from repro.core.reconstruction import DepthReconstructor
+        from repro.core.session import session
 
         stack, _ = point_source_stack
         path = tmp_path / "scan.h5lite"
         save_wire_scan(path, stack)
         loaded = load_wire_scan(path)
-        rec = DepthReconstructor(grid=depth_grid)
-        original, _ = rec.reconstruct(stack)
-        reloaded, _ = rec.reconstruct(loaded)
+        sess = session(grid=depth_grid)
+        original = sess.run(stack).result
+        reloaded = sess.run(loaded).result
         np.testing.assert_allclose(reloaded.data, original.data, rtol=1e-12, atol=1e-14)
 
     def test_wrong_format_rejected(self, tmp_path):

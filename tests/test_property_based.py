@@ -6,14 +6,12 @@ accumulation buffers.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.depth_grid import DepthGrid
 from repro.core.depth_mapping import critical_wire_z_for_depth, pixel_yz_to_depth_scalar
 from repro.core.trapezoid import (
     distribute_intensity,
-    trapezoid_area,
     trapezoid_bin_overlaps,
     trapezoid_from_depths,
     trapezoid_height,

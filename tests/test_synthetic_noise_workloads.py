@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.reconstruction import DepthReconstructor
+from repro.core.session import session
 from repro.synthetic.noise import add_background, add_hot_pixels, apply_poisson
 from repro.synthetic.workloads import (
     PAPER_DATASET_SIZES_GB,
@@ -30,9 +30,9 @@ class TestNoise:
     def test_background_cancels_in_reconstruction(self, point_source_stack, depth_grid):
         stack, _ = point_source_stack
         with_background = add_background(stack, 123.0)
-        rec = DepthReconstructor(grid=depth_grid)
-        clean, _ = rec.reconstruct(stack)
-        shifted, _ = rec.reconstruct(with_background)
+        sess = session(grid=depth_grid)
+        clean = sess.run(stack).result
+        shifted = sess.run(with_background).result
         np.testing.assert_allclose(shifted.data, clean.data, rtol=1e-9, atol=1e-9)
 
     def test_background_negative_rejected(self, point_source_stack):
@@ -51,8 +51,7 @@ class TestNoise:
     def test_hot_pixels_do_not_pollute_masked_reconstruction(self, rng, point_source_stack, depth_grid):
         stack, _ = point_source_stack
         hot = add_hot_pixels(stack, rng, fraction=0.1, amplitude=1e6)
-        rec = DepthReconstructor(grid=depth_grid)
-        result, _ = rec.reconstruct(hot)
+        result = session(grid=depth_grid).run(hot).result
         # masked pixels must receive no depth-resolved intensity at all
         masked = ~hot.pixel_mask
         assert np.abs(result.data[:, masked]).sum() == 0.0
@@ -114,8 +113,7 @@ class TestWorkloads:
 
     def test_workload_reconstruction_recovers_truth(self, session_workload):
         workload = session_workload
-        rec = DepthReconstructor(grid=workload.grid, backend="vectorized")
-        result, _ = rec.reconstruct(workload.stack)
+        result = session(grid=workload.grid, backend="vectorized").run(workload.stack).result
         truth = workload.source.true_centroid_depth()
         recon = result.centroid_depth()
         bright = workload.source.total_image() > 0.1 * workload.source.total_image().max()
