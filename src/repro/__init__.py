@@ -28,30 +28,50 @@ Quick start::
     print(run.report.summary())
     print(run.to_json())  # provenance: config, plan, timings, source
 
+    run.save("depth.h5lite")              # stack + full run record in one file
+    same = repro.load("depth.h5lite")     # lossless RunResult round-trip
+    print(repro.analysis("peaks", "fwhm").apply(same).to_json())
+
 ``repro.open`` normalizes any input (stack, ``.h5lite`` path, glob,
 directory, ndarray+geometry) and ``repro.session`` is the immutable fluent
-builder; ``repro.backends()`` introspects the pluggable backend registry.
+builder.  The results side is symmetric: ``repro.load`` reconstructs saved
+runs with their provenance, ``repro.analysis`` chains named analysis ops
+into immutable pipelines, and ``repro.ops()`` / ``repro.backends()``
+introspect the op and backend registries.
 """
 
 from repro import core, cudasim, geometry, io, synthetic, utils
 from repro.core import (
+    AnalysisPipeline,
+    AnalysisResult,
     BackendInfo,
+    BatchAnalysisResult,
     BatchRunResult,
     DepthGrid,
     DepthReconstructor,
     DepthResolvedStack,
+    OpInfo,
     ReconstructionConfig,
     RunResult,
     Session,
     Source,
     WireScanStack,
     available_backends,
+    available_ops,
     backends,
+    load,
     open,
     register_backend,
+    register_op,
     session,
     unregister_backend,
+    unregister_op,
 )
+
+# imported from the ops module directly (not via repro.core) so the
+# repro.core.analysis and repro.core.ops submodules stay reachable as
+# attributes; at this level no submodule name collides
+from repro.core.ops import analysis, ops
 
 __version__ = "1.1.0"
 
@@ -69,6 +89,16 @@ __all__ = [
     "Source",
     "RunResult",
     "BatchRunResult",
+    "load",
+    "analysis",
+    "AnalysisPipeline",
+    "AnalysisResult",
+    "BatchAnalysisResult",
+    "ops",
+    "available_ops",
+    "register_op",
+    "unregister_op",
+    "OpInfo",
     "backends",
     "available_backends",
     "register_backend",

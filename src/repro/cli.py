@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Five small tools mirror the original workflow:
+Six small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
@@ -16,6 +16,10 @@ Five small tools mirror the original workflow:
 ``repro-backends``
     Introspect the pluggable backend registry: names, capability flags and
     where each backend is defined.
+``repro-analyze``
+    Apply named analysis ops (``repro.analysis`` pipelines) to a saved
+    depth-resolved run file and emit the JSON analysis record —
+    byte-identical to ``repro.analysis(...).apply(path).to_json()``.
 ``repro-benchmark``
     Run the paper's figure sweeps from the command line.
 
@@ -39,7 +43,14 @@ from repro.core.session import session
 from repro.geometry.wire import WireEdge
 from repro.utils.logging import configure as configure_logging
 
-__all__ = ["main_generate", "main_reconstruct", "main_batch", "main_backends", "main_benchmark"]
+__all__ = [
+    "main_generate",
+    "main_reconstruct",
+    "main_batch",
+    "main_backends",
+    "main_analyze",
+    "main_benchmark",
+]
 
 
 def _add_reconstruction_args(parser: argparse.ArgumentParser) -> None:
@@ -199,6 +210,71 @@ def main_backends(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps([info.to_dict() for info in infos], indent=2, sort_keys=True))
     else:
         print(format_backend_table(infos))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _parse_op_spec(token: str):
+    """Parse a CLI op token: ``name`` or ``name:{"param": value}``."""
+    if ":" not in token:
+        return token
+    name, _, raw = token.partition(":")
+    try:
+        params = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid JSON parameters for op {name!r}: {exc}") from None
+    if not isinstance(params, dict):
+        raise SystemExit(f"op {name!r} parameters must be a JSON object, got {raw!r}")
+    return (name, params)
+
+
+def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
+    """Apply analysis ops to a saved depth-resolved run file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Run named analysis ops on a saved depth-resolved .h5lite file "
+                    "and emit the JSON analysis record.",
+    )
+    parser.add_argument("input", nargs="?",
+                        help="a depth-resolved .h5lite file (as written by RunResult.save "
+                             "or repro-reconstruct -o)")
+    parser.add_argument("ops", nargs="*",
+                        help="op names, optionally parameterized as "
+                             "name:'{\"param\": value}' (see --list)")
+    parser.add_argument("--list", action="store_true", dest="list_ops",
+                        help="list the registered analysis ops and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="with --list, emit the op registry as JSON")
+    parser.add_argument("-o", "--output",
+                        help="write the JSON analysis record here instead of stdout")
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.core.ops import analysis, ops as list_ops
+
+    if args.list_ops:
+        infos = list_ops()
+        if args.as_json:
+            print(json.dumps([info.to_dict() for info in infos], indent=2, sort_keys=True))
+        else:
+            from repro.perf.reporting import format_ops_table
+
+            print(format_ops_table(infos))
+        return 0
+    if not args.input:
+        parser.error("an input file is required (or --list)")
+    if not args.ops:
+        parser.error("at least one op name is required (see --list)")
+
+    pipeline = analysis(*[_parse_op_spec(token) for token in args.ops])
+    outcome = pipeline.apply(args.input)
+    document = outcome.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(document)
+        print(f"wrote analysis record ({', '.join(outcome.op_names())}) to {args.output}")
+    else:
+        print(document)
     return 0
 
 

@@ -6,7 +6,12 @@ turns anything :func:`~repro.core.source.open` understands — a
 :class:`~repro.core.stack.WireScanStack`, a file, a glob, an
 ndarray+geometry — into a :class:`~repro.core.result.DepthResolvedStack`
 wrapped in a provenance-carrying :class:`~repro.core.session.RunResult`.
-Backends plug in through :mod:`repro.core.registry`.  The lower-level
+The results side mirrors it: :meth:`RunResult.save` persists the stack with
+its full run record, :func:`~repro.core.session.load` reconstructs it
+losslessly, and named analysis ops (:mod:`repro.core.ops`) chain into
+immutable pipelines via :func:`~repro.core.ops.analysis`.  Backends plug in
+through :mod:`repro.core.registry`, analysis ops through
+:func:`~repro.core.ops.register_op`.  The lower-level
 pieces — depth mapping, trapezoid response, histogram accumulation, array
 layouts, row-chunk planning and the execution engine — are exposed for
 tests, benchmarks and users who want to compose them differently.
@@ -52,12 +57,26 @@ from repro.core.registry import (
     unregister_backend,
 )
 from repro.core.source import BatchSource, FileSource, Source, StackSource, open
-from repro.core.session import BatchRunResult, RunResult, Session, session
+from repro.core.session import BatchRunResult, RunResult, Session, load, session
 from repro.core.reconstruction import DepthReconstructor
 from repro.core.analysis import (
     find_profile_peaks,
     detect_grain_boundaries,
     depth_resolution_estimate,
+)
+# NOTE: the ops module's `analysis` and `ops` callables are deliberately NOT
+# imported here — binding them on this package would shadow the
+# repro.core.analysis and repro.core.ops submodules.  They are re-exported at
+# the top level as repro.analysis / repro.ops, where no submodule collides.
+from repro.core.ops import (
+    AnalysisPipeline,
+    AnalysisResult,
+    BatchAnalysisResult,
+    OpInfo,
+    available_ops,
+    register_op,
+    register_op_info,
+    unregister_op,
 )
 
 __all__ = [
@@ -106,7 +125,16 @@ __all__ = [
     "RunResult",
     "BatchRunResult",
     "session",
+    "load",
     "find_profile_peaks",
     "detect_grain_boundaries",
     "depth_resolution_estimate",
+    "AnalysisPipeline",
+    "AnalysisResult",
+    "BatchAnalysisResult",
+    "OpInfo",
+    "available_ops",
+    "register_op",
+    "register_op_info",
+    "unregister_op",
 ]

@@ -61,6 +61,10 @@ def find_profile_peaks(
         raise ValidationError(f"profile must have shape ({grid.n_bins},), got {profile.shape}")
     if profile.size < 3 or profile.max() <= 0:
         return []
+    if profile.max() == profile.min():
+        # a perfectly flat profile has no peaks (without this, the open
+        # right-boundary condition would nominate the last bin)
+        return []
     threshold = min_relative_height * profile.max()
 
     candidates = []
@@ -131,6 +135,10 @@ def detect_grain_boundaries(
     """
     profile = result.integrated_profile()
     grid = result.grid
+    if grid.n_bins < 2:
+        # a single-voxel grid has no interior bins to host a boundary (and
+        # np.gradient needs at least two samples)
+        return np.array([])
     if smooth_bins > 1:
         kernel = np.ones(smooth_bins) / smooth_bins
         profile = np.convolve(profile, kernel, mode="same")
@@ -155,9 +163,13 @@ def depth_resolution_estimate(result: DepthResolvedStack, min_signal_fraction: f
     """Median FWHM of the per-pixel depth profiles (a depth-resolution figure of merit).
 
     Only pixels carrying at least *min_signal_fraction* of the brightest
-    pixel's signal are considered; raises if no pixel qualifies or no FWHM is
-    measurable.
+    pixel's signal are considered (``0.0`` admits every pixel, ``1.0`` only
+    the brightest); raises if no pixel qualifies or no FWHM is measurable.
     """
+    if not (0.0 <= float(min_signal_fraction) <= 1.0):
+        raise ValidationError(
+            f"min_signal_fraction must lie in [0, 1], got {min_signal_fraction}"
+        )
     totals = result.data.sum(axis=0)
     if totals.max() <= 0:
         raise ValidationError("the depth-resolved stack contains no signal")

@@ -54,6 +54,9 @@ class BatchItem:
     report: Optional[ReconstructionReport] = None
     error: Optional[str] = None
     result: Optional[DepthResolvedStack] = None
+    #: the full provenance-carrying RunResult (kept when keep_results=True,
+    #: so BatchRunResult.save_all can persist complete run records)
+    run: Optional[object] = None
 
 
 @dataclass

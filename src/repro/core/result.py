@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -105,9 +105,25 @@ class DepthResolvedStack:
     def __add__(self, other: "DepthResolvedStack") -> "DepthResolvedStack":
         if not isinstance(other, DepthResolvedStack):
             return NotImplemented
-        if other.grid != self.grid or other.data.shape != self.data.shape:
-            raise ValidationError("cannot add depth-resolved stacks with different grids/shapes")
+        if other.grid != self.grid:
+            raise ValidationError(
+                "cannot add depth-resolved stacks defined on different depth grids: "
+                f"(start={self.grid.start}, step={self.grid.step}, n_bins={self.grid.n_bins}) "
+                f"vs (start={other.grid.start}, step={other.grid.step}, n_bins={other.grid.n_bins})"
+            )
+        if other.data.shape != self.data.shape:
+            raise ValidationError(
+                "cannot add depth-resolved stacks with different detector shapes: "
+                f"{self.data.shape} vs {other.data.shape}"
+            )
         return DepthResolvedStack(data=self.data + other.data, grid=self.grid, metadata=dict(self.metadata))
+
+    def __radd__(self, other) -> "DepthResolvedStack":
+        # sum(stacks) starts from 0; supporting it keeps batch/op reductions
+        # one-liners while every stack+stack addition still validates grids
+        if isinstance(other, (int, float)) and other == 0:
+            return DepthResolvedStack(data=self.data.copy(), grid=self.grid, metadata=dict(self.metadata))
+        return NotImplemented
 
 
 @dataclass
@@ -134,6 +150,42 @@ class ReconstructionReport:
         """Fraction of simulated device time spent in transfers."""
         total = self.transfer_time + self.compute_time
         return self.transfer_time / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot of every field; :meth:`from_dict` inverts it exactly."""
+        return {
+            "backend": self.backend,
+            "wall_time": float(self.wall_time),
+            "compute_time": float(self.compute_time),
+            "transfer_time": float(self.transfer_time),
+            "simulated_device_time": float(self.simulated_device_time),
+            "h2d_bytes": int(self.h2d_bytes),
+            "d2h_bytes": int(self.d2h_bytes),
+            "n_chunks": int(self.n_chunks),
+            "n_kernel_launches": int(self.n_kernel_launches),
+            "n_threads_launched": int(self.n_threads_launched),
+            "n_active_pixels": int(self.n_active_pixels),
+            "n_steps": int(self.n_steps),
+            "layout": self.layout,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ReconstructionReport":
+        """Rebuild a report from a :meth:`to_dict` snapshot.
+
+        Unknown keys fail loudly — a provenance record written by a newer
+        version must not half-apply.
+        """
+        data = dict(data)
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationError(f"unknown report field(s): {unknown}; known: {sorted(known)}")
+        if "backend" not in data:
+            raise ValidationError("report dict requires a 'backend' entry")
+        return cls(**data)
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""

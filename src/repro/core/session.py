@@ -24,6 +24,12 @@ per-item error isolation, aggregated :class:`BatchRunResult`).
 
 Any input :func:`repro.open` understands is accepted wherever a source is
 expected — in-memory stacks, files, globs, directories, ndarray+geometry.
+
+The results side is symmetric: :meth:`RunResult.save` writes the stack
+*plus* the full run record into one h5lite file, :func:`load` reconstructs
+the :class:`RunResult` losslessly, and :meth:`RunResult.analyze` /
+``Session.run(analyze=...)`` chain the named analysis ops of
+:mod:`repro.core.ops` onto fresh or reloaded results.
 """
 
 from __future__ import annotations
@@ -44,20 +50,11 @@ from repro.core.result import DepthResolvedStack, ReconstructionReport
 from repro.core.source import FileSource, InvalidSource, Source, open as open_source
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
+from repro.utils.version import package_version
 
-__all__ = ["RunResult", "BatchRunResult", "Session", "session"]
+__all__ = ["RunResult", "BatchRunResult", "Session", "session", "load"]
 
 _LOG = get_logger(__name__)
-
-
-def _repro_version() -> str:
-    """The package version, resolved lazily to avoid an import cycle."""
-    try:
-        from repro import __version__
-
-        return __version__
-    except Exception:  # pragma: no cover - only during partial imports
-        return "unknown"
 
 
 # --------------------------------------------------------------------------- #
@@ -79,6 +76,8 @@ class RunResult:
     created_unix: float = 0.0
     output_path: Optional[str] = None
     text_path: Optional[str] = None
+    profile_pixels: Optional[List[List[int]]] = None
+    analysis: Optional["object"] = None  # AnalysisResult of the last analyze()
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,7 +99,7 @@ class RunResult:
     def provenance(self) -> Dict:
         """JSON-safe record of what ran, on what, and how long it took."""
         return {
-            "repro_version": _repro_version(),
+            "repro_version": package_version(),
             "created_unix": self.created_unix,
             "backend": self.report.backend,
             "config": self.config.to_dict(),
@@ -120,7 +119,11 @@ class RunResult:
                 "n_steps": self.report.n_steps,
             },
             "notes": list(self.report.notes),
-            "outputs": {"output_path": self.output_path, "text_path": self.text_path},
+            "outputs": {
+                "output_path": self.output_path,
+                "text_path": self.text_path,
+                "profile_pixels": self.profile_pixels,
+            },
         }
 
     def to_dict(self) -> Dict:
@@ -136,27 +139,124 @@ class RunResult:
         return f"source: {self.source}\n{self.report.summary()}"
 
     # ------------------------------------------------------------------ #
+    def _run_record(self) -> Dict:
+        """The provenance record plus the full report — everything a file
+        needs to reconstruct this run (:func:`load` inverts it)."""
+        record = self.provenance()
+        record["report"] = self.report.to_dict()
+        return record
+
     def save(self, output_path) -> "RunResult":
-        """Write the depth-resolved stack to an h5lite file."""
+        """Write the depth-resolved stack *and* the full run record to an h5lite file.
+
+        The provenance record (config snapshot, report, timings, source
+        identity, output paths) is embedded as a JSON attribute next to the
+        stack, so ``repro.load(run.save(path).output_path)`` reconstructs a
+        lossless :class:`RunResult` — no provenance is dropped.
+        """
         from repro.io.image_stack import save_depth_resolved
 
-        save_depth_resolved(output_path, self.result)
+        # record the destination first so the embedded record round-trips it,
+        # but roll back on a failed write — provenance must never claim an
+        # output file that does not exist
+        previous = self.output_path
         self.output_path = str(output_path)
-        _LOG.info("wrote depth-resolved stack to %s", output_path)
+        try:
+            save_depth_resolved(output_path, self.result, run_record=self._run_record())
+        except BaseException:
+            self.output_path = previous
+            raise
+        _LOG.info("wrote depth-resolved stack + run record to %s", output_path)
         return self
 
     def write_profiles(self, text_path, pixels: Optional[Sequence[Tuple[int, int]]] = None) -> "RunResult":
-        """Write per-pixel depth profiles as text (default: the brightest pixel)."""
+        """Write per-pixel depth profiles as text (default: the brightest pixel).
+
+        The selected pixels are recorded in the provenance ``outputs`` block,
+        so a later :meth:`save` (or provenance export) keeps the full record
+        of what was written where.
+        """
         from repro.io.text_output import write_depth_profiles
 
         if pixels is None:
             totals = self.result.data.sum(axis=0)
             row, col = divmod(int(totals.argmax()), self.result.n_cols)
             pixels = [(row, col)]
+        pixels = [[int(r), int(c)] for r, c in pixels]
         write_depth_profiles(text_path, self.result, pixels)
         self.text_path = str(text_path)
-        _LOG.info("wrote %d depth profile(s) to %s", len(list(pixels)), text_path)
+        self.profile_pixels = pixels
+        _LOG.info("wrote %d depth profile(s) to %s", len(pixels), text_path)
         return self
+
+    def analyze(self, *ops, **single_op_params) -> "object":
+        """Run named analysis ops on this result (see :mod:`repro.core.ops`).
+
+        ``run.analyze("peaks", "fwhm")`` chains the named ops into an
+        immutable pipeline, applies it, keeps the outcome on
+        :attr:`analysis` and returns it.  Keyword arguments parameterize a
+        *single* op: ``run.analyze("peaks", min_relative_height=0.2)``; for
+        per-op parameters build the pipeline explicitly with
+        :func:`repro.analysis`.
+        """
+        from repro.core.ops import analysis
+
+        if single_op_params and len(ops) != 1:
+            raise ValidationError(
+                "keyword parameters require exactly one op; build a pipeline "
+                "with repro.analysis(...).then(op, **params) for per-op parameters"
+            )
+        if single_op_params:
+            pipeline = analysis((ops[0], single_op_params))
+        else:
+            pipeline = analysis(*ops)
+        self.analysis = pipeline.apply(self)
+        return self.analysis
+
+
+def load(path) -> RunResult:
+    """Reconstruct a :class:`RunResult` from a file written by :meth:`RunResult.save`.
+
+    The inverse of ``run.save(path)``: the depth-resolved stack is read back
+    bitwise-identical and the embedded run record rebuilds the config, the
+    report and the provenance, so ``repro.load(run.save(p).output_path)`` is
+    a lossless round-trip.  Raises :class:`~repro.utils.validation.ValidationError`
+    for depth-resolved files without a run record (written by bare
+    :func:`~repro.io.image_stack.save_depth_resolved`) — read those with
+    :func:`~repro.io.image_stack.load_depth_resolved`.
+    """
+    from repro.io.image_stack import load_run_payload
+
+    stack, record = load_run_payload(path)
+    if record is None:
+        raise ValidationError(
+            f"{path} holds a depth-resolved stack but no run record; it was not "
+            "written by RunResult.save() — load the bare stack with "
+            "repro.io.image_stack.load_depth_resolved() instead"
+        )
+    return _run_result_from_record(stack, record, path)
+
+
+def _run_result_from_record(stack: DepthResolvedStack, record: Dict, path) -> RunResult:
+    """Rebuild a :class:`RunResult` from a loaded stack + run record."""
+    try:
+        config = ReconstructionConfig.from_dict(record["config"])
+        report = ReconstructionReport.from_dict(record["report"])
+    except KeyError as exc:
+        raise ValidationError(f"run record in {path} is missing the {exc} block") from None
+    outputs = record.get("outputs") or {}
+    return RunResult(
+        result=stack,
+        report=report,
+        config=config,
+        source=dict(record.get("source") or {}),
+        created_unix=float(record.get("created_unix", 0.0)),
+        # the file it was just read from, not the recorded destination: a
+        # copied/moved file must not claim an output path that may be gone
+        output_path=str(path),
+        text_path=outputs.get("text_path"),
+        profile_pixels=outputs.get("profile_pixels"),
+    )
 
 
 @dataclass
@@ -174,7 +274,7 @@ class BatchRunResult(BatchReport):
     def to_dict(self) -> Dict:
         """JSON-safe record of the batch run."""
         return {
-            "repro_version": _repro_version(),
+            "repro_version": package_version(),
             "backend": self.backend,
             "streaming": self.streaming,
             "config": None if self.config is None else self.config.to_dict(),
@@ -200,6 +300,98 @@ class BatchRunResult(BatchReport):
     def to_json(self, indent: int = 2) -> str:
         """The batch provenance record as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------ #
+    def save_all(self, output_dir) -> List[str]:
+        """Save every successful item's run (stack + record) into *output_dir*.
+
+        Uses the same ``<stem>_depth.h5lite`` naming (with collision
+        suffixes) as ``run_many(output_dir=...)``; each file embeds its
+        item's full run record, so :meth:`load_dir` round-trips the batch.
+        Requires the batch to have been run with ``keep_results=True``.
+        """
+        runs = [item.run for item in self.succeeded]
+        if any(run is None for run in runs):
+            raise ValidationError(
+                "save_all() needs the per-item results; re-run the batch with "
+                "keep_results=True (or pass output_dir= to run_many directly)"
+            )
+        os.makedirs(output_dir, exist_ok=True)
+        stems = [
+            os.path.splitext(os.path.basename(item.input_path))[0]
+            for item in self.succeeded
+        ]
+        paths = _output_names(stems, str(output_dir))
+        for item, run, path in zip(self.succeeded, runs, paths):
+            run.save(path)
+            item.output_path = run.output_path
+        _LOG.info("saved %d run(s) to %s", len(paths), output_dir)
+        return paths
+
+    @classmethod
+    def load_dir(cls, directory) -> "BatchRunResult":
+        """Reconstruct a batch from the run files saved in *directory*.
+
+        Every ``.h5lite`` file in the directory carrying a depth-resolved
+        run record becomes one item.  Healthy files of *other* repro formats
+        (e.g. wire-scan inputs sitting alongside) and record-less legacy
+        depth-resolved files are skipped; a file that fails to load —
+        corrupt, truncated, or with a malformed record — is captured as a
+        failed item, mirroring ``run_many``'s per-item error isolation.
+        The batch config is the items' shared config when they agree,
+        ``None`` otherwise.
+        """
+        from repro.io.h5lite import H5LiteError
+        from repro.io.image_stack import UnrecognizedFormatError, load_run_payload
+
+        directory = str(directory)
+        if not os.path.isdir(directory):
+            raise ValidationError(f"load_dir() needs a directory, got {directory!r}")
+        paths = sorted(
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(".h5lite")
+        )
+        items: List[BatchItem] = []
+        configs: List[ReconstructionConfig] = []
+        backends: List[str] = []
+        for path in paths:
+            try:
+                stack, record = load_run_payload(path)
+                if record is None:
+                    # a bare depth-resolved stack (pre-redesign output or
+                    # save_depth_resolved without a record) is not a run
+                    # file: skip it like any other foreign format
+                    continue
+                run = _run_result_from_record(stack, record, path)
+            except UnrecognizedFormatError:
+                continue  # healthy h5lite of another format: not ours
+            except (H5LiteError, ValidationError, OSError) as exc:
+                items.append(BatchItem(
+                    input_path=path, ok=False, error=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            items.append(BatchItem(
+                input_path=path,
+                ok=True,
+                wall_time=run.report.wall_time,
+                output_path=path,
+                report=run.report,
+                result=run.result,
+                run=run,
+            ))
+            configs.append(run.config)
+            backends.append(run.report.backend)
+        shared_config = configs[0] if configs and all(c == configs[0] for c in configs) else None
+        return cls(
+            items=items,
+            wall_time=0.0,
+            max_workers=0,
+            backend=backends[0] if backends and all(b == backends[0] for b in backends) else "",
+            streaming=shared_config.streaming if shared_config is not None else False,
+            config=shared_config,
+            source={"kind": "batch-dir", "directory": directory, "n_items": len(items)},
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -284,13 +476,19 @@ class Session:
         output_path=None,
         text_path=None,
         text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
+        analyze=None,
     ) -> RunResult:
         """Reconstruct one source and return the :class:`RunResult`.
 
         *src* is anything :func:`repro.open` accepts (except a batch — use
         :meth:`run_many`).  ``output_path`` / ``text_path`` optionally write
         the h5lite result and text depth profiles, exactly like the old file
-        pipeline did.
+        pipeline did.  ``analyze`` runs named analysis ops (an op name, a
+        sequence of names/specs, or a prebuilt
+        :class:`~repro.core.ops.AnalysisPipeline`) on the fresh result; the
+        outcome lands on :attr:`RunResult.analysis`.  Text profiles are
+        written before the h5lite save so the embedded run record carries
+        every output path.
         """
         source = open_source(src)
         if source.is_batch:
@@ -315,10 +513,14 @@ class Session:
             source=source.identity(),
             created_unix=created,
         )
-        if output_path is not None:
-            run.save(output_path)
         if text_path is not None:
             run.write_profiles(text_path, pixels=text_pixels)
+        if output_path is not None:
+            run.save(output_path)
+        if analyze is not None:
+            from repro.core.ops import as_pipeline
+
+            run.analysis = as_pipeline(analyze).apply(run)
         return run
 
     def run_many(
@@ -407,6 +609,7 @@ class Session:
                 output_path=outcome.output_path,
                 report=outcome.report,
                 result=outcome.result if keep_results else None,
+                run=outcome if keep_results else None,
             )
 
         jobs = list(zip(sources, output_paths))

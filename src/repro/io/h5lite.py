@@ -8,7 +8,9 @@ reconstruction pipeline relies on:
 * n-dimensional **datasets** of any NumPy dtype, stored contiguously or
   **chunked along the leading axis** so that a few detector rows/images can
   be read without loading the whole cube;
-* JSON-serialisable **attributes** on groups and datasets;
+* JSON-serialisable **attributes** on groups and datasets, including an
+  eagerly-validated JSON-attrs block (``set_json_attr``/``get_json_attr``)
+  for nested documents such as run-provenance records;
 * partial reads (``dataset[i:j]``) that only touch the required chunks.
 
 File layout::
@@ -30,13 +32,21 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["H5LiteError", "Dataset", "Group", "H5LiteFile"]
+__all__ = ["H5LiteError", "Dataset", "Group", "H5LiteFile", "json_normalize"]
 
 _MAGIC = b"H5LITE01"
 
 
 class H5LiteError(IOError):
     """Raised for malformed files, wrong modes, and invalid paths."""
+
+
+def _header_attrs(node: Dict, path) -> Dict:
+    """The ``attrs`` block of a header node, validated to be an object."""
+    attrs = node.get("attrs", {})
+    if not isinstance(attrs, dict):
+        raise H5LiteError(f"corrupt h5lite header in {path}: malformed attrs")
+    return attrs
 
 
 def _normalize_path(path: str) -> List[str]:
@@ -57,7 +67,54 @@ def _json_default(obj):
     raise TypeError(f"attribute value of type {type(obj).__name__} is not serialisable")
 
 
-class Dataset:
+def json_normalize(value):
+    """Normalize *value* into plain JSON types (dict/list/str/int/float/bool/None).
+
+    Tuples become lists, NumPy scalars and arrays become Python numbers and
+    lists — exactly the shape the value will have after a write/read cycle
+    through the file header, so callers see the round-tripped form
+    immediately.  Raises :class:`H5LiteError` for unserialisable values.
+    """
+    try:
+        return json.loads(json.dumps(value, default=_json_default, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise H5LiteError(f"value is not JSON-serialisable: {exc}") from None
+
+
+class _JsonAttrs:
+    """Eagerly-validated JSON attributes, shared by groups and datasets.
+
+    Plain ``attrs`` entries are only serialised when the file is written, so
+    a bad value surfaces far from where it was assigned.  The JSON-attrs
+    block validates and normalizes at *set* time (h5py attributes fail at
+    assignment too) and hands back deep copies at *get* time, making
+    arbitrarily nested provenance records safe first-class attributes.
+    """
+
+    attrs: Dict
+
+    def set_json_attr(self, key: str, value) -> None:
+        """Store a nested JSON document under attribute *key*, fail-fast.
+
+        The value is normalized through a JSON round-trip immediately, so an
+        unserialisable payload raises here — not at file close — and what is
+        stored is bit-for-bit what a reader will see.
+        """
+        self.attrs[str(key)] = json_normalize(value)
+
+    def get_json_attr(self, key: str, default=None):
+        """A deep copy of the JSON attribute *key* (*default* when absent).
+
+        Runs the same strict normalization as :meth:`set_json_attr`, so a
+        value smuggled in through the plain ``attrs`` dict is held to the
+        identical rule set on the way out.
+        """
+        if key not in self.attrs:
+            return default
+        return json_normalize(self.attrs[key])
+
+
+class Dataset(_JsonAttrs):
     """A named n-dimensional array inside an :class:`H5LiteFile`."""
 
     def __init__(
@@ -182,7 +239,7 @@ class Dataset:
         return f"Dataset({self.name!r}, shape={self.shape}, dtype={self.dtype})"
 
 
-class Group:
+class Group(_JsonAttrs):
     """A named collection of groups and datasets."""
 
     def __init__(self, file: "H5LiteFile", name: str):
@@ -343,6 +400,14 @@ class H5LiteFile:
         """Attributes of the root group."""
         return self.root.attrs
 
+    def set_json_attr(self, key: str, value) -> None:
+        """Store a validated JSON attribute on the root group."""
+        self.root.set_json_attr(key, value)
+
+    def get_json_attr(self, key: str, default=None):
+        """Read a JSON attribute of the root group."""
+        return self.root.get_json_attr(key, default)
+
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Flush (in write mode) and close the file."""
@@ -418,33 +483,60 @@ class H5LiteFile:
             magic = fh.read(8)
             if magic != _MAGIC:
                 raise H5LiteError(f"{self.path} is not an h5lite file (bad magic {magic!r})")
-            (header_len,) = np.frombuffer(fh.read(8), dtype=np.uint64)
+            length_bytes = fh.read(8)
+            if len(length_bytes) != 8:
+                raise H5LiteError(f"truncated h5lite file {self.path} (no header length)")
+            (header_len,) = np.frombuffer(length_bytes, dtype=np.uint64)
             header_bytes = fh.read(int(header_len))
             if len(header_bytes) != int(header_len):
                 raise H5LiteError("truncated h5lite header")
             self._data_start = 16 + int(header_len)
-        header = json.loads(header_bytes.decode("utf-8"))
-        self.root.attrs.update(header.get("attrs", {}))
+        # a corrupt header after a valid magic (partial write, bit rot) must
+        # surface as H5LiteError like every other malformed-file condition,
+        # not leak json/unicode/key errors to callers
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise H5LiteError(f"corrupt h5lite header in {self.path}: {exc}") from None
+        if not isinstance(header, dict):
+            raise H5LiteError(f"corrupt h5lite header in {self.path}: not a JSON object")
+        self.root.attrs.update(_header_attrs(header, self.path))
 
         def build_group(group: Group, node: Dict) -> None:
-            group.attrs.update(node.get("attrs", {}))
-            for name, child in node.get("children", {}).items():
-                if child["type"] == "group":
+            if not isinstance(node, dict):
+                raise H5LiteError(f"corrupt h5lite header in {self.path}: malformed tree node")
+            group.attrs.update(_header_attrs(node, self.path))
+            children = node.get("children", {})
+            if not isinstance(children, dict):
+                raise H5LiteError(f"corrupt h5lite header in {self.path}: malformed children")
+            for name, child in children.items():
+                if not isinstance(child, dict):
+                    raise H5LiteError(
+                        f"corrupt h5lite header in {self.path}: malformed node {name!r}"
+                    )
+                if child.get("type") == "group":
                     sub = Group(self, f"{group.name.rstrip('/')}/{name}" if group.name != "/" else f"/{name}")
                     group._children[name] = sub
                     build_group(sub, child)
                 else:
-                    ds = Dataset(
-                        file=self,
-                        name=f"{group.name.rstrip('/')}/{name}" if group.name != "/" else f"/{name}",
-                        shape=tuple(child["shape"]),
-                        dtype=np.dtype(child["dtype"]),
-                        chunk_rows=child.get("chunk_rows"),
-                        chunk_offsets=child.get("chunk_offsets", []),
-                        attrs=child.get("attrs", {}),
-                    )
+                    try:
+                        ds = Dataset(
+                            file=self,
+                            name=f"{group.name.rstrip('/')}/{name}" if group.name != "/" else f"/{name}",
+                            shape=tuple(child["shape"]),
+                            dtype=np.dtype(child["dtype"]),
+                            chunk_rows=child.get("chunk_rows"),
+                            chunk_offsets=child.get("chunk_offsets", []),
+                            attrs=child.get("attrs", {}),
+                        )
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise H5LiteError(
+                            f"corrupt h5lite header in {self.path}: bad dataset {name!r}: {exc}"
+                        ) from None
                     group._datasets[name] = ds
 
+        if "tree" not in header:
+            raise H5LiteError(f"corrupt h5lite header in {self.path}: no tree")
         build_group(self.root, header["tree"])
 
     def _read_dataset(self, ds: Dataset, start: int, stop: Optional[int]) -> np.ndarray:

@@ -22,7 +22,7 @@ grid parameters as attributes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,9 @@ __all__ = [
     "read_wire_scan_geometry",
     "save_depth_resolved",
     "load_depth_resolved",
+    "load_run_payload",
+    "RUN_RECORD_ATTR",
+    "UnrecognizedFormatError",
 ]
 
 
@@ -182,14 +185,42 @@ def load_wire_scan_window(path, row_start: int, row_stop: int) -> WireScanStack:
         )
 
 
-def save_depth_resolved(path, result: DepthResolvedStack, chunk_bins: Optional[int] = 8) -> None:
-    """Write a :class:`DepthResolvedStack` to an h5lite file."""
+#: attribute key the run-provenance record is stored under (JSON-attrs block)
+RUN_RECORD_ATTR = "run_record"
+
+
+class UnrecognizedFormatError(H5LiteError):
+    """A valid h5lite container that is not the expected repro format.
+
+    Distinct from generic :class:`~repro.io.h5lite.H5LiteError` so directory
+    scans can *skip* foreign-but-healthy files while still *reporting*
+    corrupt ones.  Subclasses ``H5LiteError``, so existing handlers keep
+    working.
+    """
+
+
+def save_depth_resolved(
+    path,
+    result: DepthResolvedStack,
+    chunk_bins: Optional[int] = 8,
+    run_record: Optional[Dict] = None,
+) -> None:
+    """Write a :class:`DepthResolvedStack` to an h5lite file.
+
+    When *run_record* is given (the full provenance record of the run that
+    produced the stack — see :meth:`repro.core.session.RunResult.save`), it
+    is embedded on the ``/entry`` group as an eagerly-validated JSON
+    attribute, h5py-attributes style, so :func:`repro.load` can reconstruct
+    the complete :class:`~repro.core.session.RunResult` later.
+    """
     with H5LiteFile(path, "w") as fh:
         entry = fh.create_group("entry")
         entry.attrs["format"] = "repro-depth-resolved"
         entry.attrs["format_version"] = 1
         for key, value in result.metadata.items():
             entry.attrs[f"meta_{key}"] = value
+        if run_record is not None:
+            entry.set_json_attr(RUN_RECORD_ATTR, run_record)
         grp = entry.create_group("depth_resolved")
         grp.attrs["depth_start"] = result.grid.start
         grp.attrs["depth_step"] = result.grid.step
@@ -197,22 +228,45 @@ def save_depth_resolved(path, result: DepthResolvedStack, chunk_bins: Optional[i
         grp.create_dataset("intensity", result.data, chunk_rows=chunk_bins)
 
 
+def _depth_resolved_entry(fh: H5LiteFile, path):
+    """The validated ``/entry`` group of an open depth-resolved file."""
+    if "entry" not in fh:
+        raise UnrecognizedFormatError(f"{path} does not contain an /entry group")
+    entry = fh["entry"]
+    if entry.attrs.get("format") != "repro-depth-resolved":
+        raise UnrecognizedFormatError(f"{path} is not a repro depth-resolved file")
+    return entry
+
+
+def _read_depth_resolved(entry) -> DepthResolvedStack:
+    grp = entry["depth_resolved"]
+    grid = DepthGrid(
+        start=float(grp.attrs["depth_start"]),
+        step=float(grp.attrs["depth_step"]),
+        n_bins=int(grp.attrs["n_bins"]),
+    )
+    data = entry["depth_resolved/intensity"][...]
+    metadata = {
+        key[len("meta_"):]: value
+        for key, value in entry.attrs.items()
+        if key.startswith("meta_")
+    }
+    return DepthResolvedStack(data=data, grid=grid, metadata=metadata)
+
+
 def load_depth_resolved(path) -> DepthResolvedStack:
     """Read a :class:`DepthResolvedStack` from an h5lite file."""
     with H5LiteFile(path, "r") as fh:
-        entry = fh["entry"]
-        if entry.attrs.get("format") != "repro-depth-resolved":
-            raise H5LiteError(f"{path} is not a repro depth-resolved file")
-        grp = entry["depth_resolved"]
-        grid = DepthGrid(
-            start=float(grp.attrs["depth_start"]),
-            step=float(grp.attrs["depth_step"]),
-            n_bins=int(grp.attrs["n_bins"]),
-        )
-        data = entry["depth_resolved/intensity"][...]
-        metadata = {
-            key[len("meta_"):]: value
-            for key, value in entry.attrs.items()
-            if key.startswith("meta_")
-        }
-        return DepthResolvedStack(data=data, grid=grid, metadata=metadata)
+        return _read_depth_resolved(_depth_resolved_entry(fh, path))
+
+
+def load_run_payload(path) -> Tuple[DepthResolvedStack, Optional[Dict]]:
+    """Read a depth-resolved file plus its embedded run-provenance record.
+
+    One file open serves both; the record is ``None`` for files written
+    without provenance (pre-redesign outputs or bare
+    :func:`save_depth_resolved` calls).
+    """
+    with H5LiteFile(path, "r") as fh:
+        entry = _depth_resolved_entry(fh, path)
+        return _read_depth_resolved(entry), entry.get_json_attr(RUN_RECORD_ATTR)

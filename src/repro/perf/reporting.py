@@ -18,6 +18,7 @@ __all__ = [
     "format_figure_report",
     "format_batch_table",
     "format_backend_table",
+    "format_ops_table",
     "records_to_series",
 ]
 
@@ -111,6 +112,27 @@ def format_backend_table(infos) -> str:
         )
     lines.append("-" * max(len(header), 72))
     lines.append(f"{len(infos)} backend(s) registered")
+    return "\n".join(lines)
+
+
+def format_ops_table(infos) -> str:
+    """Fixed-width table for the ``repro-analyze --list`` CLI.
+
+    One row per :class:`~repro.core.ops.OpInfo` with its keyword parameters
+    (and defaults) and description.
+    """
+    rendered = [
+        ", ".join(f"{key}={value!r}" for key, value in info.parameters().items()) or "-"
+        for info in infos
+    ]
+    name_width = max([20] + [len(info.name) + 2 for info in infos])
+    params_width = max([12] + [len(params) for params in rendered])
+    header = f"{'op':<{name_width}s}{'parameters':<{params_width}s}  description"
+    lines = [header, "-" * max(len(header), 72)]
+    for info, params in zip(infos, rendered):
+        lines.append(f"{info.name:<{name_width}s}{params:<{params_width}s}  {info.description}")
+    lines.append("-" * max(len(header), 72))
+    lines.append(f"{len(infos)} op(s) registered")
     return "\n".join(lines)
 
 

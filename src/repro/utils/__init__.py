@@ -15,6 +15,7 @@ from repro.utils.arrays import (
     unravel_index_3d,
     chunk_ranges,
 )
+from repro.utils.version import package_version
 
 __all__ = [
     "ensure_positive",
@@ -28,4 +29,5 @@ __all__ = [
     "ravel_index_3d",
     "unravel_index_3d",
     "chunk_ranges",
+    "package_version",
 ]

@@ -1,0 +1,19 @@
+"""Package-version lookup for provenance records."""
+
+from __future__ import annotations
+
+__all__ = ["package_version"]
+
+
+def package_version() -> str:
+    """The repro package version, resolved lazily to avoid an import cycle.
+
+    Run and analysis provenance records both stamp this value; keeping the
+    lookup in one place guarantees they can never diverge.
+    """
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - only during partial imports
+        return "unknown"

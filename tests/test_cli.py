@@ -5,7 +5,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.cli import main_backends, main_batch, main_benchmark, main_generate, main_reconstruct
+from repro.cli import (
+    main_analyze,
+    main_backends,
+    main_batch,
+    main_benchmark,
+    main_generate,
+    main_reconstruct,
+)
 from repro.io.image_stack import load_depth_resolved, load_wire_scan
 
 
@@ -157,3 +164,62 @@ class TestBatchCli:
         out = capsys.readouterr().out
         assert "1/2 ok" in out
         assert "FAIL" in out and "H5LiteError" in out
+
+
+class TestAnalyzeCli:
+    @pytest.fixture()
+    def depth_file(self, tmp_path):
+        scan_path = tmp_path / "scan.h5lite"
+        main_generate([str(scan_path), "--kind", "benchmark", "--size-label", "0.05MB"])
+        out_path = tmp_path / "depth.h5lite"
+        main_reconstruct([str(scan_path), "-o", str(out_path), "--depth-bins", "25"])
+        return out_path
+
+    def test_list_ops(self, capsys):
+        assert main_analyze(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("peaks", "fwhm", "grain_boundaries", "depth_resolution"):
+            assert name in out
+        assert "op(s) registered" in out
+
+    def test_list_ops_json(self, capsys):
+        assert main_analyze(["--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["peaks"]["parameters"]["min_relative_height"] == 0.1
+        assert by_name["fwhm"]["module"] == "repro.core.ops"
+
+    def test_analyze_matches_api_json(self, depth_file, capsys):
+        import repro
+
+        assert main_analyze([str(depth_file), "peaks", "fwhm"]) == 0
+        cli_document = capsys.readouterr().out.rstrip("\n")
+        api_document = repro.analysis("peaks", "fwhm").apply(str(depth_file)).to_json()
+        assert cli_document == api_document
+        payload = json.loads(cli_document)
+        assert [record["op"] for record in payload["results"]] == ["peaks", "fwhm"]
+        assert payload["provenance"]["run"]["backend"] == "vectorized"
+
+    def test_analyze_parameterized_op(self, depth_file, capsys):
+        assert main_analyze([str(depth_file), 'peaks:{"min_relative_height": 0.5}']) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["params"] == {"min_relative_height": 0.5}
+
+    def test_analyze_writes_output_file(self, depth_file, tmp_path, capsys):
+        out = tmp_path / "analysis.json"
+        assert main_analyze([str(depth_file), "total_intensity", "-o", str(out)]) == 0
+        assert "wrote analysis record" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["results"][0]["value"] > 0
+
+    def test_analyze_requires_input_and_ops(self, depth_file):
+        with pytest.raises(SystemExit):
+            main_analyze([])
+        with pytest.raises(SystemExit):
+            main_analyze([str(depth_file)])
+
+    def test_bad_json_params_rejected(self, depth_file):
+        with pytest.raises(SystemExit, match="invalid JSON parameters"):
+            main_analyze([str(depth_file), "peaks:{broken"])
+        with pytest.raises(SystemExit, match="must be a JSON object"):
+            main_analyze([str(depth_file), "peaks:[1]"])

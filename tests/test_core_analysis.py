@@ -102,3 +102,62 @@ class TestGrainBoundariesAndResolution:
         empty = DepthResolvedStack(data=np.zeros((grid.n_bins, 2, 2)), grid=grid)
         with pytest.raises(ValidationError):
             depth_resolution_estimate(empty)
+
+
+class TestEdgeCases:
+    """Degenerate inputs: flat/empty profiles, single-voxel grids, all-zero stacks."""
+
+    def test_flat_profile_has_no_peaks(self, grid):
+        assert find_profile_peaks(np.ones(grid.n_bins), grid) == []
+
+    def test_negative_profile_has_no_peaks(self, grid):
+        assert find_profile_peaks(-np.ones(grid.n_bins), grid) == []
+
+    def test_single_voxel_grid_peaks(self):
+        tiny = DepthGrid.from_range(0.0, 2.0, 1)
+        assert find_profile_peaks(np.array([5.0]), tiny) == []
+
+    def test_single_voxel_grid_fwhm_is_none(self):
+        tiny = DepthGrid.from_range(0.0, 2.0, 1)
+        assert profile_fwhm(np.array([5.0]), tiny, 0) is None
+
+    def test_single_voxel_grid_boundaries_empty(self):
+        tiny = DepthGrid.from_range(0.0, 2.0, 1)
+        result = DepthResolvedStack(data=np.ones((1, 2, 2)), grid=tiny)
+        assert detect_grain_boundaries(result).size == 0
+
+    def test_two_bin_grid_boundaries_do_not_crash(self):
+        grid2 = DepthGrid.from_range(0.0, 4.0, 2)
+        result = DepthResolvedStack(data=np.ones((2, 2, 2)), grid=grid2)
+        assert detect_grain_boundaries(result).size == 0
+
+    def test_fwhm_zero_height_peak_is_none(self, grid):
+        assert profile_fwhm(np.zeros(grid.n_bins), grid, grid.n_bins // 2) is None
+
+    def test_all_zero_stack_boundaries_empty(self, grid):
+        result = DepthResolvedStack(data=np.zeros((grid.n_bins, 3, 3)), grid=grid)
+        assert detect_grain_boundaries(result).size == 0
+
+    def test_single_pixel_stack_resolution(self, grid):
+        data = np.zeros((grid.n_bins, 1, 1))
+        data[:, 0, 0] = np.exp(-0.5 * ((grid.centers - 50.0) / 6.0) ** 2)
+        result = DepthResolvedStack(data=data, grid=grid)
+        resolution = depth_resolution_estimate(result)
+        assert resolution > 0
+
+    def test_min_signal_fraction_boundaries(self, grid):
+        data = np.zeros((grid.n_bins, 1, 2))
+        data[:, 0, 0] = gaussian_profile(grid, 40.0, 5.0, height=1.0)
+        data[:, 0, 1] = gaussian_profile(grid, 60.0, 5.0, height=0.1)
+        result = DepthResolvedStack(data=data, grid=grid)
+        # 0.0 admits every pixel (all-zero pixels contribute no FWHM), 1.0
+        # only the brightest; both are legal boundary values
+        loose = depth_resolution_estimate(result, min_signal_fraction=0.0)
+        tight = depth_resolution_estimate(result, min_signal_fraction=1.0)
+        assert loose > 0 and tight > 0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, np.inf])
+    def test_min_signal_fraction_validated(self, grid, bad):
+        result = DepthResolvedStack(data=np.ones((grid.n_bins, 2, 2)), grid=grid)
+        with pytest.raises(ValidationError, match="min_signal_fraction"):
+            depth_resolution_estimate(result, min_signal_fraction=bad)

@@ -261,3 +261,96 @@ class TestWindowedReads:
         with H5LiteFile(tmp_path / "w.h5lite", "w") as fh:
             ds = fh.create_dataset("c", cube, chunk_rows=1)
             np.testing.assert_array_equal(ds.read_window(0, 2, 1, 3), cube[:, 1:3])
+
+
+class TestJsonAttrs:
+    """The eagerly-validated JSON-attrs block (run-provenance storage)."""
+
+    def test_nested_document_round_trip(self, tmp_path):
+        path = tmp_path / "attrs.h5lite"
+        record = {"config": {"grid": {"start": 0.0, "n_bins": 25}}, "notes": ["a", "b"],
+                  "timings": {"wall": 1.25}, "nothing": None, "flag": True}
+        with H5LiteFile(path, "w") as fh:
+            grp = fh.create_group("entry")
+            grp.set_json_attr("run_record", record)
+        with H5LiteFile(path, "r") as fh:
+            assert fh["entry"].get_json_attr("run_record") == record
+
+    def test_normalized_at_set_time(self, tmp_path):
+        with H5LiteFile(tmp_path / "n.h5lite", "w") as fh:
+            grp = fh.create_group("g")
+            grp.set_json_attr("v", {"t": (1, 2), "np": np.float64(2.5), "arr": np.arange(3)})
+            # what was stored is already the post-round-trip form
+            assert grp.attrs["v"] == {"t": [1, 2], "np": 2.5, "arr": [0, 1, 2]}
+
+    def test_unserialisable_fails_at_set_not_close(self, tmp_path):
+        with H5LiteFile(tmp_path / "bad.h5lite", "w") as fh:
+            grp = fh.create_group("g")
+            with pytest.raises(H5LiteError, match="not JSON-serialisable"):
+                grp.set_json_attr("v", object())
+            with pytest.raises(H5LiteError, match="not JSON-serialisable"):
+                grp.set_json_attr("nan", float("nan"))
+
+    def test_get_returns_copies_and_default(self, tmp_path):
+        with H5LiteFile(tmp_path / "c.h5lite", "w") as fh:
+            grp = fh.create_group("g")
+            grp.set_json_attr("v", {"inner": [1]})
+            grp.get_json_attr("v")["inner"].append(2)
+            assert grp.get_json_attr("v") == {"inner": [1]}
+            assert grp.get_json_attr("missing", default=7) == 7
+
+    def test_dataset_and_root_json_attrs(self, tmp_path):
+        path = tmp_path / "d.h5lite"
+        with H5LiteFile(path, "w") as fh:
+            fh.set_json_attr("root_doc", {"k": 1})
+            ds = fh.create_dataset("v", np.arange(3.0))
+            ds.set_json_attr("doc", {"units": "um"})
+        with H5LiteFile(path, "r") as fh:
+            assert fh.get_json_attr("root_doc") == {"k": 1}
+            assert fh["v"].get_json_attr("doc") == {"units": "um"}
+
+
+class TestCorruptHeaders:
+    """Malformed files with a valid magic must raise H5LiteError, not leak
+    ValueError/JSONDecodeError to callers (batch reloads rely on this)."""
+
+    def test_truncated_after_magic(self, tmp_path):
+        path = tmp_path / "trunc.h5lite"
+        path.write_bytes(b"H5LITE01" + b"\x01\x02\x03")  # not even a header length
+        with pytest.raises(H5LiteError):
+            H5LiteFile(path, "r")
+
+    def test_garbage_header_of_advertised_length(self, tmp_path):
+        path = tmp_path / "garbage.h5lite"
+        body = b"{not json"
+        path.write_bytes(b"H5LITE01" + np.uint64(len(body)).tobytes() + body)
+        with pytest.raises(H5LiteError, match="corrupt h5lite header"):
+            H5LiteFile(path, "r")
+
+    def test_header_missing_tree(self, tmp_path):
+        path = tmp_path / "notree.h5lite"
+        body = b'{"attrs": {}}'
+        path.write_bytes(b"H5LITE01" + np.uint64(len(body)).tobytes() + body)
+        with pytest.raises(H5LiteError, match="no tree"):
+            H5LiteFile(path, "r")
+
+    def test_malformed_dataset_node(self, tmp_path):
+        path = tmp_path / "badnode.h5lite"
+        body = b'{"tree": {"type": "group", "children": {"d": {"type": "dataset"}}}}'
+        path.write_bytes(b"H5LITE01" + np.uint64(len(body)).tobytes() + body)
+        with pytest.raises(H5LiteError, match="bad dataset"):
+            H5LiteFile(path, "r")
+
+    def test_valid_json_non_object_header(self, tmp_path):
+        path = tmp_path / "list.h5lite"
+        body = b"[1, 2, 3]"
+        path.write_bytes(b"H5LITE01" + np.uint64(len(body)).tobytes() + body)
+        with pytest.raises(H5LiteError, match="not a JSON object"):
+            H5LiteFile(path, "r")
+
+    def test_malformed_attrs_block(self, tmp_path):
+        path = tmp_path / "badattrs.h5lite"
+        body = b'{"attrs": [1], "tree": {"type": "group", "children": {}}}'
+        path.write_bytes(b"H5LITE01" + np.uint64(len(body)).tobytes() + body)
+        with pytest.raises(H5LiteError, match="malformed attrs"):
+            H5LiteFile(path, "r")
