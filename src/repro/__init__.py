@@ -61,11 +61,14 @@ from repro.core import (
     backends,
     load,
     open,
+    pool,
     register_backend,
     register_op,
     session,
+    shutdown_shared_pool,
     unregister_backend,
     unregister_op,
+    WorkerPool,
 )
 
 # imported from the ops module directly (not via repro.core) so the
@@ -89,6 +92,9 @@ __all__ = [
     "Source",
     "RunResult",
     "BatchRunResult",
+    "pool",
+    "WorkerPool",
+    "shutdown_shared_pool",
     "load",
     "analysis",
     "AnalysisPipeline",

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Six small tools mirror the original workflow:
+Seven small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
@@ -22,6 +22,10 @@ Six small tools mirror the original workflow:
     byte-identical to ``repro.analysis(...).apply(path).to_json()``.
 ``repro-benchmark``
     Run the paper's figure sweeps from the command line.
+``repro-bench``
+    Run the host-parallelism scaling suite (worker-count curve, shm vs
+    pickle dispatch, pool reuse vs cold start) and write the
+    ``BENCH_<issue>.json`` perf-trajectory artifact.
 
 Everything routes through the ``repro.open()`` / ``repro.session()`` front
 door, so the CLI exercises exactly the code path library users get.
@@ -50,6 +54,7 @@ __all__ = [
     "main_backends",
     "main_analyze",
     "main_benchmark",
+    "main_bench",
 ]
 
 
@@ -339,6 +344,68 @@ def main_benchmark(argv: Optional[Sequence[str]] = None) -> int:
         workloads.append(w)
     records = run_backend_sweep(workloads, ["cpu_reference", "gpusim"], repeats=args.repeats)
     print(format_figure_report("Fig. 9: CPU vs GPU across pixel percentages", records))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main_bench(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the parallel-scaling suite and emit the BENCH_<issue>.json artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure host-parallel scaling (worker counts, shm vs pickle "
+                    "dispatch, pool reuse) and write the BENCH_*.json artifact.",
+    )
+    parser.add_argument("--size-label", default=None,
+                        help="workload size label, e.g. '24MB' or '2.1G' "
+                             "(default: the medium synthetic workload)")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts for the scaling curve")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per point (best-of)")
+    parser.add_argument("--files", type=int, default=3,
+                        help="files in the pool-reuse measurement")
+    parser.add_argument("--pixel-fraction", type=float, default=None,
+                        help="active-pixel fraction of the workload (default 0.25)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", default=None,
+                        help="artifact path (default: BENCH_<issue>.json in the "
+                             "current directory)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a perf check fails "
+                             "(shm slower than pickle, or cold start beating the pool)")
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.perf.parallel import (
+        DEFAULT_PIXEL_FRACTION,
+        DEFAULT_SIZE_LABEL,
+        format_parallel_report,
+        run_parallel_scaling,
+        write_bench_record,
+    )
+
+    try:
+        workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
+    except ValueError:
+        parser.error(f"invalid --workers {args.workers!r}; expected e.g. '1,2,4'")
+    if not workers:
+        parser.error("--workers must name at least one worker count")
+
+    record = run_parallel_scaling(
+        size_label=args.size_label or DEFAULT_SIZE_LABEL,
+        workers=workers,
+        repeats=args.repeats,
+        n_files=args.files,
+        pixel_fraction=(
+            DEFAULT_PIXEL_FRACTION if args.pixel_fraction is None else args.pixel_fraction
+        ),
+        seed=args.seed,
+    )
+    path = write_bench_record(record, args.output)
+    print(format_parallel_report(record))
+    print(f"wrote {path}")
+    if args.strict and not all(record["checks"].values()):
+        return 1
     return 0
 
 

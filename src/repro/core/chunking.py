@@ -24,6 +24,7 @@ from repro.utils.validation import ValidationError
 __all__ = ["ChunkPlan", "plan_row_chunks", "estimate_chunk_device_bytes"]
 
 _FLOAT_BYTES = 8
+_MASK_BYTES = 1
 
 
 def estimate_chunk_device_bytes(
@@ -41,16 +42,29 @@ def estimate_chunk_device_bytes(
       selected layout, which may add pointer-table overhead);
     * the depth-resolved output slab ``n_depth_bins × rows × n_cols``
       (allocated flat regardless of the input layout, as in the original);
+    * the pixel-mask slab ``rows × n_cols`` (one byte per pixel) — the chunk
+      window of the detector's bad-pixel mask rides along with every slab;
+    * the background terms: the per-image background levels
+      (``n_positions`` floats) plus one image-sized slab ``rows × n_cols``
+      resident while the levels are broadcast-subtracted from the chunk;
     * the wire-position table and per-row pixel-edge tables (small).
+
+    The mask and background terms used to be omitted, which let the
+    streaming planner pick chunks that overshot the declared device budget
+    on masked/background-subtracted runs.
     """
     if rows < 1:
         raise ValidationError("rows must be >= 1")
     layout_obj = get_layout(layout)
     input_bytes = layout_obj.device_bytes_for((n_positions, rows, n_cols), _FLOAT_BYTES)
     output_bytes = n_depth_bins * rows * n_cols * _FLOAT_BYTES
+    mask_bytes = rows * n_cols * _MASK_BYTES
+    background_bytes = n_positions * _FLOAT_BYTES + rows * n_cols * _FLOAT_BYTES
     wire_table = (n_positions) * 2 * _FLOAT_BYTES
     edge_tables = rows * 4 * _FLOAT_BYTES
-    return int(input_bytes + output_bytes + wire_table + edge_tables)
+    return int(
+        input_bytes + output_bytes + mask_bytes + background_bytes + wire_table + edge_tables
+    )
 
 
 @dataclass(frozen=True)

@@ -384,8 +384,11 @@ def execute(
 
     histogram = DepthHistogram(config.grid, source.n_rows, source.n_cols)
     n_active = 0
-    executor.prepare(source, config, plan)
+    # prepare() acquires per-run resources (worker pools, shared-memory
+    # arenas); it sits inside the try so close() runs even when it — or any
+    # chunk — raises, and no pool or shm segment outlives a failed run
     try:
+        executor.prepare(source, config, plan)
         for row_start, row_stop in plan.chunks:
             slab = source.load_rows(row_start, row_stop)
             n_active += count_active_elements_in_slab(

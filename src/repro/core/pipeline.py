@@ -1,33 +1,150 @@
-"""Deprecated file-pipeline shims plus the batch result data model.
+"""Cross-file batch scheduling, the batch result data model, and shims.
 
-The file-to-file pipeline and the multi-file batch scheduler moved behind
-the one front door (:class:`~repro.core.session.Session`):
+Three things live here:
 
-* ``reconstruct_file(path, config, ...)`` →
-  ``repro.session(config=config).run(path, output_path=..., text_path=...)``
-* ``reconstruct_many(paths, config, ...)`` →
-  ``repro.session(config=config).run_many(paths, ...)``
-
-Both old functions remain as thin shims that emit a
-:class:`DeprecationWarning` and delegate, producing bitwise-identical
-outputs.  The batch *data model* (:class:`BatchItem`, :class:`BatchReport`)
-still lives here and is not deprecated — the session's
-:class:`~repro.core.session.BatchRunResult` extends :class:`BatchReport`.
+* the **batch scheduler** the session's ``run_many`` delegates to:
+  :func:`plan_batch_concurrency` gates how many *whole reconstructions* may
+  overlap by the same memory-budget logic the streaming engine applies to
+  row chunks (a batch of huge in-memory cubes is serialised, a batch of
+  streamed files overlaps freely because each holds only one chunk slab),
+  and :func:`run_batch_jobs` runs the items on a thread pool with order
+  preserved.  Threads suffice on the host side because NumPy kernels and
+  file I/O release the GIL, and the multiprocess backend adds real
+  cross-process parallelism through the one persistent
+  :func:`~repro.core.workerpool.shared_pool` all items reuse;
+* the batch *data model* (:class:`BatchItem`, :class:`BatchReport`) — the
+  session's :class:`~repro.core.session.BatchRunResult` extends
+  :class:`BatchReport`;
+* deprecated shims for the historical entry points
+  (``reconstruct_file`` / ``reconstruct_many``), which emit a
+  :class:`DeprecationWarning` and delegate to the session front door with
+  bitwise-identical outputs.
 """
 
 from __future__ import annotations
 
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import ReconstructionConfig
 from repro.core.result import DepthResolvedStack, ReconstructionReport
 from repro.utils.logging import get_logger
 
-__all__ = ["PipelineResult", "BatchItem", "BatchReport", "reconstruct_file", "reconstruct_many"]
+__all__ = [
+    "PipelineResult",
+    "BatchItem",
+    "BatchReport",
+    "BATCH_MEMORY_BUDGET_BYTES",
+    "estimate_source_resident_bytes",
+    "plan_batch_concurrency",
+    "run_batch_jobs",
+    "reconstruct_file",
+    "reconstruct_many",
+]
 
 _LOG = get_logger(__name__)
+
+#: Default host-memory budget for concurrently resident batch items.  Four
+#: streaming chunk slabs: a streamed batch overlaps up to four files, while
+#: in-memory cubes large enough to matter get their concurrency clamped.
+BATCH_MEMORY_BUDGET_BYTES = 4 * 256 * 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# memory-gated cross-file scheduling
+def estimate_source_resident_bytes(source, config: ReconstructionConfig) -> Optional[int]:
+    """Peak host bytes one batch item keeps resident while reconstructing.
+
+    For a file source this is a header-only probe (geometry, never images):
+    the input term is the full cube when the item will be loaded in memory,
+    or one streaming chunk slab (:data:`~repro.core.engine.STREAMING_CHUNK_BYTES`,
+    the same budget the engine plans row chunks with) when ``config.streaming``
+    is set; the output term is the full depth-resolved cube, which exists
+    either way; background subtraction briefly doubles the input slab.
+    Returns ``None`` when the item's dimensions cannot be probed cheaply —
+    an unreadable file surfaces as that *item's* failure at run time, never
+    as a scheduling error.
+    """
+    from repro.core.source import FileSource, StackSource
+
+    streaming_input = False
+    if isinstance(source, StackSource):
+        n_positions, n_rows, n_cols = source.stack.shape
+    elif isinstance(source, FileSource):
+        try:
+            from repro.io.image_stack import read_wire_scan_geometry
+
+            scan, detector, _beam, _metadata = read_wire_scan_geometry(source.path)
+        except Exception:
+            return None
+        n_rows, n_cols = detector.shape
+        n_positions = scan.n_points
+        streaming_input = bool(config.streaming)
+    else:
+        return None
+
+    from repro.core.engine import STREAMING_CHUNK_BYTES
+
+    float_bytes = 8
+    cube = n_positions * n_rows * n_cols * float_bytes
+    input_bytes = min(cube, STREAMING_CHUNK_BYTES) if streaming_input else cube
+    if config.subtract_background:
+        input_bytes *= 2  # the background-subtracted slab copy
+    output_bytes = config.grid.n_bins * n_rows * n_cols * float_bytes
+    return int(input_bytes + output_bytes)
+
+
+def plan_batch_concurrency(
+    sources: Sequence,
+    config: ReconstructionConfig,
+    requested_workers: int,
+    memory_budget: Optional[int] = None,
+) -> int:
+    """Concurrent whole-file reconstructions the memory budget admits.
+
+    The gate mirrors the streaming engine's logic one level up: instead of
+    bounding rows per chunk under a device budget, it bounds *items in
+    flight* under a host budget, using the worst (largest) per-item resident
+    set.  Never below one — a single over-budget item still runs, exactly
+    like a single over-budget row still gets a chunk.
+    """
+    requested = max(1, int(requested_workers))
+    if requested == 1:
+        return 1  # already serial: skip the per-item header probes
+    if memory_budget is None:
+        memory_budget = BATCH_MEMORY_BUDGET_BYTES
+    if int(memory_budget) < 1:
+        return 1
+    estimates = [estimate_source_resident_bytes(source, config) for source in sources]
+    known = [bytes_ for bytes_ in estimates if bytes_]
+    if not known:
+        return requested
+    admitted = max(1, int(memory_budget) // max(known))
+    if admitted < requested:
+        _LOG.info(
+            "batch: memory budget %d B admits %d concurrent item(s) "
+            "(worst item ~%d B), clamping from %d",
+            memory_budget, admitted, max(known), requested,
+        )
+    return min(requested, admitted)
+
+
+def run_batch_jobs(
+    jobs: Sequence,
+    run_one: Callable,
+    max_workers: int,
+) -> List["BatchItem"]:
+    """Run *run_one* over *jobs* on a thread pool, preserving input order.
+
+    ``max_workers == 1`` runs inline (no pool start-up for serial batches).
+    *run_one* owns per-item error isolation; this function only schedules.
+    """
+    if max_workers <= 1:
+        return [run_one(job) for job in jobs]
+    with ThreadPoolExecutor(max_workers=max_workers) as threads:
+        return list(threads.map(run_one, jobs))
 
 
 @dataclass

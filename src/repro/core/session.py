@@ -37,7 +37,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -530,14 +529,19 @@ class Session:
         max_workers: Optional[int] = None,
         output_dir: Optional[str] = None,
         keep_results: bool = True,
+        memory_budget: Optional[int] = None,
     ) -> BatchRunResult:
-        """Reconstruct a batch of sources on a worker pool.
+        """Reconstruct a batch of sources with overlapping whole-file runs.
 
         Items are scheduled onto ``max_workers`` threads (default: up to 4,
-        never more than the number of items).  A failure in one item is
-        isolated: it is recorded on that item's
-        :class:`~repro.core.pipeline.BatchItem` and the rest of the batch
-        continues.
+        never more than the number of items), additionally gated by the
+        host-memory budget: concurrency is clamped so the concurrently
+        resident working sets (probed per item from file headers — see
+        :func:`~repro.core.pipeline.plan_batch_concurrency`) fit
+        *memory_budget*, the batch-level twin of the engine's streaming
+        chunk budget.  A failure in one item is isolated: it is recorded on
+        that item's :class:`~repro.core.pipeline.BatchItem` and the rest of
+        the batch continues.
 
         Parameters
         ----------
@@ -547,7 +551,9 @@ class Session:
         max_workers:
             Concurrent reconstructions.  Thread-based: NumPy kernels and file
             I/O release the GIL for long stretches, and the multiprocess
-            backend brings its own process pool.
+            backend adds cross-process parallelism through the persistent
+            :func:`repro.pool` worker pool, which every item reuses — a
+            batch pays process-pool start-up once, not once per file.
         output_dir:
             When given, each item's depth-resolved result is written to
             ``<output_dir>/<stem>_depth.h5lite`` (the directory is created).
@@ -555,6 +561,9 @@ class Session:
             Keep each item's :class:`~repro.core.result.DepthResolvedStack`
             on its batch item.  Disable for very large batches where only
             the reports (or the written output files) are wanted.
+        memory_budget:
+            Host bytes the concurrently resident items may occupy
+            (default :data:`~repro.core.pipeline.BATCH_MEMORY_BUDGET_BYTES`).
         """
         if isinstance(srcs, (list, tuple)):
             # per-entry isolation: an entry that cannot even be normalized
@@ -578,20 +587,30 @@ class Session:
                 backend=self.config.backend, streaming=self.config.streaming,
                 config=self.config, source=identity,
             )
+        from repro.core.pipeline import plan_batch_concurrency, run_batch_jobs
+
         if max_workers is None:
             max_workers = min(4, len(sources))
         max_workers = max(1, min(int(max_workers), len(sources)))
+        max_workers = plan_batch_concurrency(
+            sources, self.config, max_workers, memory_budget=memory_budget
+        )
         output_paths: List[Optional[str]] = [None] * len(sources)
         if output_dir is not None:
             os.makedirs(output_dir, exist_ok=True)
             output_paths = _output_names([source.label() for source in sources], output_dir)
+
+        from concurrent.futures import CancelledError
 
         def run_one(job: Tuple[Source, Optional[str]]) -> BatchItem:
             source, item_output = job
             start = time.perf_counter()
             try:
                 outcome = self.run(source, output_path=item_output)
-            except Exception as exc:  # per-item isolation: record, don't abort
+            # per-item isolation: record, don't abort.  CancelledError is a
+            # BaseException since 3.8 and can surface from a pool future that
+            # was cancelled out from under the run — still one item's failure
+            except (Exception, CancelledError) as exc:
                 wall = time.perf_counter() - start
                 _LOG.warning("batch: %s failed after %.3fs: %s", _item_path(source), wall, exc)
                 return BatchItem(
@@ -614,11 +633,7 @@ class Session:
 
         jobs = list(zip(sources, output_paths))
         start = time.perf_counter()
-        if max_workers == 1:
-            items = [run_one(job) for job in jobs]
-        else:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                items = list(pool.map(run_one, jobs))
+        items = run_batch_jobs(jobs, run_one, max_workers)
         wall = time.perf_counter() - start
 
         outcome = BatchRunResult(

@@ -12,7 +12,10 @@ The benchmark harness is built from three layers:
   of the CPU time" headline);
 * :mod:`repro.perf.modelruns` — evaluates the analytic device/host models at
   the paper's full data-set sizes so measured laptop-scale trends can be put
-  side by side with paper-scale predictions.
+  side by side with paper-scale predictions;
+* :mod:`repro.perf.parallel` — the host-parallelism scaling suite
+  (worker-count curve, shm vs pickle dispatch, pool reuse) behind the
+  ``repro-bench`` CLI and the ``BENCH_*.json`` perf-trajectory artifacts.
 """
 
 from repro.perf.timer import Timer, time_callable
@@ -20,6 +23,11 @@ from repro.perf.sweep import SweepRecord, run_backend_sweep
 from repro.perf.metrics import speedup, time_ratio, summarize_ratio_range
 from repro.perf.reporting import format_series_table, format_figure_report
 from repro.perf.modelruns import paper_scale_prediction, predict_figure8, predict_figure9
+from repro.perf.parallel import (
+    format_parallel_report,
+    run_parallel_scaling,
+    write_bench_record,
+)
 
 __all__ = [
     "Timer",
@@ -34,4 +42,7 @@ __all__ = [
     "paper_scale_prediction",
     "predict_figure8",
     "predict_figure9",
+    "run_parallel_scaling",
+    "write_bench_record",
+    "format_parallel_report",
 ]

@@ -9,6 +9,7 @@ from repro.cli import (
     main_analyze,
     main_backends,
     main_batch,
+    main_bench,
     main_benchmark,
     main_generate,
     main_reconstruct,
@@ -223,3 +224,30 @@ class TestAnalyzeCli:
             main_analyze([str(depth_file), "peaks:{broken"])
         with pytest.raises(SystemExit, match="must be a JSON object"):
             main_analyze([str(depth_file), "peaks:[1]"])
+
+
+class TestBench:
+    def test_parallel_bench_writes_artifact(self, tmp_path, capsys):
+        """repro-bench on a tiny workload emits a complete BENCH record."""
+        out = tmp_path / "BENCH_smoke.json"
+        code = main_bench([
+            "--size-label", "0.3MB", "--workers", "1,2",
+            "--repeats", "1", "--files", "2", "-o", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "parallel_scaling"
+        assert {row["n_workers"] for row in record["scaling"]} == {1, 2}
+        assert all(row["shm_s"] > 0 and row["pickle_s"] > 0 for row in record["scaling"])
+        reuse = record["pool_reuse"]
+        assert reuse["n_files"] == 2 and reuse["pooled_pool_spawns"] == 1
+        assert set(record["checks"]) == {
+            "shm_beats_pickle_multiworker",
+            "pooled_run_many_beats_cold_start",
+        }
+        output = capsys.readouterr().out
+        assert "workers" in output and f"wrote {out}" in output
+
+    def test_bench_rejects_bad_workers(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_bench(["--workers", "two,4", "-o", str(tmp_path / "x.json")])

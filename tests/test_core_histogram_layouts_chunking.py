@@ -155,6 +155,27 @@ class TestChunkPlanning:
         large = estimate_chunk_device_bytes(8, 64, 50, 40)
         assert large > small
 
+    def test_estimate_counts_full_working_set(self):
+        """The estimate must include the pixel-mask slab and the background
+        terms (levels + resident image slab) — they used to be omitted, so
+        the streaming planner could pick chunks overshooting the declared
+        device budget on masked/background-subtracted runs."""
+        rows, n_cols, n_positions, n_bins = 4, 64, 50, 40
+        estimate = estimate_chunk_device_bytes(rows, n_cols, n_positions, n_bins, "flat1d")
+        input_bytes = Flat1DLayout().device_bytes_for((n_positions, rows, n_cols), 8)
+        output_bytes = n_bins * rows * n_cols * 8
+        mask_bytes = rows * n_cols * 1
+        background_bytes = n_positions * 8 + rows * n_cols * 8
+        wire_table = n_positions * 2 * 8
+        edge_tables = rows * 4 * 8
+        assert estimate == (
+            input_bytes + output_bytes + mask_bytes + background_bytes
+            + wire_table + edge_tables
+        )
+        # the omitted terms are really in there: strictly above input+output
+        # plus the small tables alone
+        assert estimate > input_bytes + output_bytes + wire_table + edge_tables
+
     def test_plan_covers_all_rows(self):
         plan = plan_row_chunks(100, 64, 50, 40, device_memory_bytes=10 * 1024**2)
         assert plan.covers_all_rows()

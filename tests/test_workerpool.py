@@ -1,0 +1,224 @@
+"""Tests for the persistent worker pool and the shared-memory slab arena.
+
+The lifecycle guarantees the host-parallel layer rests on:
+
+* one ``ProcessPoolExecutor`` spawn serves many runs (pool reuse);
+* a pool inherited through ``fork()`` or broken by a worker death is
+  lazily re-initialised, never reused;
+* ``repro.pool()`` pins and pre-warms the shared pool and tears it down
+  deterministically;
+* every shared-memory segment an arena creates is unlinked by ``close()``,
+  whatever happened in between.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from multiprocessing import shared_memory
+from repro.core.workerpool import (
+    SlabArena,
+    WorkerPool,
+    attach_slab,
+    default_worker_count,
+    shared_pool,
+    shutdown_shared_pool,
+)
+from repro.utils.validation import ValidationError
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_pool():
+    """Each test starts and ends without a lingering shared pool."""
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
+
+
+def _assert_unlinked(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------------------- #
+class TestWorkerPool:
+    def test_lazy_spawn_and_reuse(self):
+        pool = WorkerPool(2)
+        assert not pool.alive and pool.n_spawns == 0
+        futures = [pool.submit(_square, n) for n in range(5)]
+        assert [f.result() for f in futures] == [0, 1, 4, 9, 16]
+        assert pool.alive
+        assert pool.n_spawns == 1  # one executor served every submit
+        pool.shutdown()
+        assert not pool.alive
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+        with pytest.raises(ValidationError):
+            shared_pool(0)
+
+    def test_fork_safe_lazy_reinit(self):
+        """A pool whose executor belongs to another process is respawned."""
+        pool = WorkerPool(2)
+        assert pool.submit(_square, 3).result() == 9
+        pool._pid = pool._pid + 1  # simulate: this object crossed a fork()
+        assert not pool.alive
+        assert pool.submit(_square, 4).result() == 16
+        assert pool.n_spawns == 2
+        pool.shutdown()
+
+    def test_broken_pool_respawns_on_next_use(self):
+        pool = WorkerPool(2)
+        assert pool.submit(_square, 2).result() == 4
+        pool.mark_broken()
+        assert not pool.alive
+        assert pool.submit(_square, 5).result() == 25
+        assert pool.n_spawns == 2
+        pool.shutdown()
+
+    def test_warm_forks_workers(self):
+        pool = WorkerPool(2)
+        assert pool.warm() is pool
+        assert pool.alive and pool.n_spawns == 1
+        pool.shutdown()
+
+
+class TestSharedPool:
+    def test_shared_pool_is_reused(self):
+        a = shared_pool(2)
+        b = shared_pool(2)
+        assert a is b
+
+    def test_resize_respawns(self):
+        a = shared_pool(2)
+        b = shared_pool(3)
+        assert b is not a and b.max_workers == 3
+
+    def test_pool_context_pins_and_tears_down(self):
+        with repro.pool(2) as pinned:
+            assert pinned.alive  # pre-warmed on entry
+            assert shared_pool(2) is pinned
+            # a different worker count must NOT respawn while pinned
+            assert shared_pool(5) is pinned
+            assert pinned.n_spawns == 1
+        assert not pinned.alive  # outermost exit shuts the pool down
+
+    def test_pool_context_nested(self):
+        with repro.pool(2) as outer:
+            with repro.pool(4) as inner:
+                assert inner is outer  # the pin wins; no respawn
+            assert outer.alive  # inner exit must not tear down the outer pin
+        assert not outer.alive
+
+    def test_pool_context_default_worker_count(self):
+        with repro.pool() as pinned:
+            assert pinned.max_workers == default_worker_count()
+        assert default_worker_count() >= 2
+
+    def test_pool_runs_reuse_one_spawn(self):
+        """Many multiprocess runs inside one pool() share one executor."""
+        from repro.core.depth_grid import DepthGrid
+        from repro.core.session import session
+        from tests.helpers import make_tiny_stack
+
+        stack = make_tiny_stack(n_rows=6, n_cols=4, n_positions=9)
+        sess = session(
+            grid=DepthGrid.from_range(0.0, 100.0, 8), backend="multiprocess", n_workers=2
+        )
+        with repro.pool(2) as pinned:
+            for _ in range(3):
+                sess.run(stack)
+            assert pinned.n_spawns == 1
+
+    def test_heterogeneous_batch_reuses_one_pool(self, tmp_path):
+        """Items with fewer rows than n_workers must not resize the shared
+        pool: the pool is keyed on config.n_workers, never the row-clamped
+        band count, so a mixed-size batch pays one spawn total."""
+        from repro.core.depth_grid import DepthGrid
+        from repro.core.session import session
+        from repro.io.image_stack import save_wire_scan
+        from tests.helpers import make_tiny_stack
+
+        paths = []
+        for index, n_rows in enumerate((3, 16, 3, 16)):
+            stack = make_tiny_stack(n_rows=n_rows, n_cols=4, n_positions=9)
+            path = tmp_path / f"scan_{index}.h5lite"
+            save_wire_scan(path, stack)
+            paths.append(str(path))
+        sess = session(
+            grid=DepthGrid.from_range(0.0, 100.0, 8), backend="multiprocess", n_workers=4
+        )
+        batch = sess.run_many(paths, max_workers=2)
+        assert batch.n_ok == 4
+        assert shared_pool(4).n_spawns == 1
+
+
+# --------------------------------------------------------------------------- #
+class TestSlabArena:
+    def test_lease_recycles_segments(self):
+        arena = SlabArena()
+        first = arena.lease(1024)
+        arena.release(first)
+        second = arena.lease(1024)
+        assert second.name == first.name  # recycled, not recreated
+        assert arena.n_created == 1
+        arena.close()
+        _assert_unlinked(arena.created_names)
+
+    def test_peak_leased_accounting(self):
+        arena = SlabArena()
+        slabs = [arena.lease(512) for _ in range(3)]
+        assert arena.peak_leased == 3 and arena.n_leased == 3
+        for slab in slabs:
+            arena.release(slab)
+        assert arena.n_leased == 0 and arena.peak_leased == 3
+        arena.close()
+
+    def test_close_unlinks_everything_even_leased(self):
+        arena = SlabArena()
+        leased = arena.lease(256)
+        free = arena.lease(256)
+        arena.release(free)
+        arena.close()
+        assert arena.closed
+        _assert_unlinked([leased.name, free.name])
+        arena.close()  # idempotent
+
+    def test_lease_after_close_rejected(self):
+        arena = SlabArena()
+        arena.close()
+        with pytest.raises(ValidationError):
+            arena.lease(64)
+
+    def test_release_after_close_unlinks(self):
+        arena = SlabArena()
+        slab = arena.lease(128)
+        arena.close()
+        arena.release(slab)  # late release must destroy, not resurrect
+        _assert_unlinked([slab.name])
+
+    def test_empty_lease_rejected(self):
+        arena = SlabArena()
+        with pytest.raises(ValidationError):
+            arena.lease(0)
+        arena.close()
+
+    def test_attach_slab_roundtrip(self):
+        arena = SlabArena()
+        slab = arena.lease(8 * 16)
+        view = np.ndarray((16,), dtype=np.float64, buffer=slab.buf)
+        view[...] = np.arange(16.0)
+        attached = attach_slab(slab.name)
+        mirror = np.ndarray((16,), dtype=np.float64, buffer=attached.buf)
+        np.testing.assert_array_equal(mirror, np.arange(16.0))
+        del mirror
+        attached.close()
+        del view
+        arena.close()
+        _assert_unlinked([slab.name])
