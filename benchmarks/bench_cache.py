@@ -1,0 +1,190 @@
+"""Experiment E7 — the content-addressed result cache: warm vs cold, incremental batches.
+
+The cache exists to make the *second* request fast: a fingerprint-identical
+``(source, config)`` pair must be served from disk (load + digest verify)
+far faster than any backend can recompute it, and a batch where one of N
+files changed must pay for one reconstruction, not N.  This suite measures
+both and gates against their regression:
+
+* **warm vs cold** — repeated single-file runs, cache hits against genuine
+  recomputes, gated on the aggregate over every timed sample
+  (``warm_beats_cold``);
+* **incremental run_many** — 1-of-N files changed: the cached batch must
+  recompute exactly the changed file and beat the full uncached recompute.
+
+The run emits the repository's perf-trajectory artifact (``BENCH_5.json``
+by default; override the path with ``REPRO_BENCH_OUT`` and the per-file
+workload with ``REPRO_CACHE_BENCH_SIZE``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from _bench_utils import SeriesCollector
+from repro.core.cache import ResultCache
+from repro.core.session import session
+from repro.io.image_stack import save_wire_scan
+from repro.synthetic.workloads import make_benchmark_workload
+from repro.utils.version import package_version
+
+collector = SeriesCollector("Result cache: wall seconds", x_label="scenario")
+
+#: Issue number this benchmark's artifact belongs to (BENCH_<issue>.json).
+BENCH_ISSUE = 5
+
+#: Per-file workload: big enough that reconstruction clearly dominates a
+#: cache load, small enough for CI.
+DEFAULT_SIZE_LABEL = "6MB"
+
+#: Files in the incremental-batch measurement (1 of N is changed).
+N_FILES = 4
+
+#: Timed samples per scenario; the gates pool all of them.
+REPEATS = 3
+
+
+def _size_label() -> str:
+    return os.environ.get("REPRO_CACHE_BENCH_SIZE", DEFAULT_SIZE_LABEL)
+
+
+def run_cache_bench(work_dir: str) -> dict:
+    """Measure warm-vs-cold and incremental batches; return the JSON record."""
+    workload = make_benchmark_workload(_size_label(), pixel_fraction=0.25, seed=11)
+    cache = ResultCache(os.path.join(work_dir, "cache"))
+    sess = session(grid=workload.grid, backend="vectorized").cached(cache)
+
+    paths = []
+    for index in range(N_FILES):
+        path = os.path.join(work_dir, f"scan_{index}.h5lite")
+        save_wire_scan(path, workload.stack)
+        # re-stamp a distinct mtime per file so every fingerprint is unique
+        stat = os.stat(path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + index))
+        paths.append(path)
+    single = paths[0]
+
+    # ---------------------------------------------------------------- #
+    # warm vs cold single runs
+    sess.run(single)  # populate the entry (store cost excluded from both sides)
+    cold_samples, warm_samples = [], []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run = sess.run(single, cache=False)  # genuine recompute
+        cold_samples.append(time.perf_counter() - start)
+        assert run.cache_stats is None
+        start = time.perf_counter()
+        run = sess.run(single)
+        warm_samples.append(time.perf_counter() - start)
+        assert run.cache_stats.hit, "expected a cache hit on the warm side"
+
+    # ---------------------------------------------------------------- #
+    # incremental run_many: 1 of N files changed
+    sess.run_many(paths)  # populate every entry
+    changed = paths[-1]
+    stat = os.stat(changed)
+    os.utime(changed, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+    start = time.perf_counter()
+    full = sess.run_many(paths, cache=False)
+    full_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    incremental = sess.run_many(paths)
+    incremental_s = time.perf_counter() - start
+
+    cold_total = sum(cold_samples)
+    warm_total = sum(warm_samples)
+    checks = {
+        # gated on the aggregate over every timed sample, not one lucky pair
+        "warm_beats_cold": warm_total < cold_total,
+        "incremental_recomputes_only_changed": (
+            incremental.n_cached == N_FILES - 1 and incremental.n_computed == 1
+        ),
+        "incremental_beats_full_recompute": incremental_s < full_s,
+    }
+    return {
+        "benchmark": "cache",
+        "issue": BENCH_ISSUE,
+        "repro_version": package_version(),
+        "created_unix": time.time(),
+        "workload": {
+            "size_label": _size_label(),
+            "shape": list(workload.stack.shape),
+            "nbytes": int(workload.stack.nbytes),
+            "n_depth_bins": int(workload.grid.n_bins),
+        },
+        "repeats": REPEATS,
+        "single": {
+            "cold_s": cold_samples,
+            "warm_s": warm_samples,
+            "cold_total_s": cold_total,
+            "warm_total_s": warm_total,
+            "warm_speedup": cold_total / warm_total if warm_total > 0 else float("inf"),
+        },
+        "incremental": {
+            "n_files": N_FILES,
+            "n_changed": 1,
+            "full_recompute_s": full_s,
+            "incremental_s": incremental_s,
+            "n_cached": incremental.n_cached,
+            "n_computed": incremental.n_computed,
+            "full_n_cached": full.n_cached,
+        },
+        "checks": checks,
+    }
+
+
+@pytest.fixture(scope="module")
+def cache_record(tmp_path_factory):
+    """One full harness run shared by the assertions below."""
+    record = run_cache_bench(str(tmp_path_factory.mktemp("cache_bench")))
+    single = record["single"]
+    for index, (cold, warm) in enumerate(zip(single["cold_s"], single["warm_s"])):
+        collector.add(f"run#{index}", "cold", cold)
+        collector.add(f"run#{index}", "warm", warm)
+    incremental = record["incremental"]
+    collector.add("batch 1-of-4", "full", incremental["full_recompute_s"])
+    collector.add("batch 1-of-4", "incremental", incremental["incremental_s"])
+    path = os.environ.get("REPRO_BENCH_OUT", f"BENCH_{BENCH_ISSUE}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return record
+
+
+def test_warm_hits_beat_cold_recomputes(cache_record):
+    """A cache hit (load + digest verify) must beat recomputing, in aggregate."""
+    single = cache_record["single"]
+    assert single["warm_total_s"] < single["cold_total_s"], (
+        f"cache hits regressed: warm {single['warm_total_s']:.4f}s vs "
+        f"cold {single['cold_total_s']:.4f}s over {cache_record['repeats']} sample(s)"
+    )
+    assert cache_record["checks"]["warm_beats_cold"]
+
+
+def test_incremental_batch_recomputes_only_the_changed_file(cache_record):
+    incremental = cache_record["incremental"]
+    assert incremental["n_cached"] == incremental["n_files"] - 1
+    assert incremental["n_computed"] == 1
+    assert cache_record["checks"]["incremental_recomputes_only_changed"]
+
+
+def test_incremental_batch_beats_full_recompute(cache_record):
+    incremental = cache_record["incremental"]
+    assert incremental["incremental_s"] < incremental["full_recompute_s"], (
+        f"incremental batch regressed: {incremental['incremental_s']:.4f}s vs "
+        f"full recompute {incremental['full_recompute_s']:.4f}s"
+    )
+    assert cache_record["checks"]["incremental_beats_full_recompute"]
+
+
+def test_cache_bench_report(cache_record):
+    print(collector.report([
+        "",
+        "cold recomputes every time; warm serves the verified cache entry;",
+        "the batch row compares a full 4-file recompute against 3 hits + 1 rebuild.",
+    ]))

@@ -1,0 +1,115 @@
+"""Result caching & incremental batches: the second request is (nearly) free.
+
+Run with::
+
+    python examples/caching.py
+
+What it does
+------------
+1. reconstructs a synthetic wire scan through a ``cached()`` session — the
+   first run computes and stores, the second is a cache hit served
+   bitwise-identical to the recompute (provenance included);
+2. shows what invalidates a key: touching the source bytes and changing any
+   config field both force a recompute, on their own new keys;
+3. runs an **incremental batch**: after editing 1 of 4 files, ``run_many``
+   recomputes exactly the changed file and serves the other three from the
+   cache (``item.cached`` per item);
+4. memoizes an analysis chain per (run key, pipeline signature);
+5. corrupts a cache entry on purpose and shows it is repaired — deleted and
+   recomputed — never served;
+6. inspects and prunes the root the way ``repro-cache`` does.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import repro
+from repro.io.image_stack import save_wire_scan
+from repro.synthetic import make_grain_sample_stack
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    value = fn()
+    print(f"  {label}: {time.perf_counter() - start:.4f}s")
+    return value
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro_caching_")
+    grid = repro.DepthGrid.from_range(0.0, 120.0, 48)
+    sess = repro.session(grid=grid).cached(os.path.join(workdir, "cache"))
+
+    # ------------------------------------------------------------------ #
+    # 1. cold vs warm
+    paths = []
+    for index in range(4):
+        stack, _source, _sample = make_grain_sample_stack(
+            n_grains=2, n_rows=12, n_cols=12, n_positions=81, seed=20 + index
+        )
+        path = os.path.join(workdir, f"scan_{index}.h5lite")
+        save_wire_scan(path, stack)
+        paths.append(path)
+
+    print("cold vs warm (same file, same config):")
+    cold = _timed("cold run (computes + stores)", lambda: sess.run(paths[0]))
+    warm = _timed("warm run (cache hit)       ", lambda: sess.run(paths[0]))
+    assert warm.cache_stats.hit
+    assert warm.result.data.tobytes() == cold.result.data.tobytes()
+    assert warm.provenance() == cold.provenance()
+    print(f"  hit key={warm.cache_stats.key[:12]}… "
+          f"verified digest={warm.cache_stats.digest[:12]}…")
+
+    # ------------------------------------------------------------------ #
+    # 2. what invalidates
+    different_config = sess.configure(intensity_cutoff=0.25).run(paths[0])
+    assert not different_config.cache_stats.hit  # any config change: new key
+    print("changed config field -> miss (recomputed on its own key)")
+
+    # ------------------------------------------------------------------ #
+    # 3. incremental batch: 1 of 4 files changed
+    first = sess.run_many(paths)
+    print(f"first batch:  {first.n_computed} computed, {first.n_cached} cached")
+    stack, _source, _sample = make_grain_sample_stack(
+        n_grains=3, n_rows=12, n_cols=12, n_positions=81, seed=99
+    )
+    save_wire_scan(paths[2], stack)  # edit one input
+    stat = os.stat(paths[2])
+    os.utime(paths[2], ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    second = sess.run_many(paths)
+    print(f"second batch: {second.n_computed} computed, {second.n_cached} cached "
+          f"-> {[item.cached for item in second.items]}")
+    assert second.n_computed == 1 and second.n_cached == 3
+
+    # ------------------------------------------------------------------ #
+    # 4. memoized analysis
+    outcome = warm.analyze("peaks", "grain_boundaries")
+    again = sess.run(paths[0]).analyze("peaks", "grain_boundaries")
+    assert outcome.to_json() == again.to_json()
+    print("analysis memoized per (run key, pipeline signature)")
+
+    # ------------------------------------------------------------------ #
+    # 5. corruption is repaired, never served
+    entry = warm.cache_stats.path
+    with open(entry, "r+b") as fh:
+        fh.write(b"garbage!")  # clobber the magic
+    repaired = sess.run(paths[0])
+    assert not repaired.cache_stats.hit  # recomputed, entry replaced
+    assert repaired.result.data.tobytes() == cold.result.data.tobytes()
+    assert sess.run(paths[0]).cache_stats.hit  # healthy again
+    print("corrupt entry -> miss, deleted, recomputed, re-stored")
+
+    # ------------------------------------------------------------------ #
+    # 6. administration (what repro-cache does)
+    stats = sess.cache.stats()
+    print(f"cache root {stats['root']}: {stats['n_runs']} run entr(ies), "
+          f"{stats['n_analyses']} analysis memo(s), {stats['total_bytes'] / 1e6:.2f} MB")
+    print(f"verify: {sess.cache.verify()['n_repaired']} repaired")
+    print(f"prune to zero: {sess.cache.prune(max_bytes=0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,34 @@
 The offline environment has setuptools but not the ``wheel`` package, so
 PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
 build an editable wheel.  This file enables the legacy development install
-path (``python setup.py develop`` / ``pip install -e . --no-build-isolation``
-falling back to it); all metadata lives in ``pyproject.toml``.
+path (``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+
+The version is parsed textually from ``src/repro/_version.py`` — the single
+definition the package itself exports — so packaging metadata can never
+drift from ``repro.__version__`` (cache keys depend on the stamped version,
+making silent drift a correctness bug, not a cosmetic one).
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION_FILE = os.path.join(os.path.dirname(__file__), "src", "repro", "_version.py")
+
+
+def read_version() -> str:
+    """The package version, read without importing the package."""
+    with open(_VERSION_FILE, "r", encoding="utf-8") as fh:
+        match = re.search(r'^__version__\s*=\s*"([^"]+)"', fh.read(), re.MULTILINE)
+    if not match:
+        raise RuntimeError(f"no __version__ definition found in {_VERSION_FILE}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

@@ -47,11 +47,13 @@ from repro.core import (
     BackendInfo,
     BatchAnalysisResult,
     BatchRunResult,
+    CacheStats,
     DepthGrid,
     DepthReconstructor,
     DepthResolvedStack,
     OpInfo,
     ReconstructionConfig,
+    ResultCache,
     RunResult,
     Session,
     Source,
@@ -76,7 +78,9 @@ from repro.core import (
 # attributes; at this level no submodule name collides
 from repro.core.ops import analysis, ops
 
-__version__ = "1.1.0"
+# the one version definition lives in repro._version (setup.py parses that
+# file textually); this is a re-export, never a second definition
+from repro._version import __version__
 
 # NOTE: repro.open is public API but deliberately absent from __all__, so
 # `from repro import *` never shadows the builtin open (gzip-style).
@@ -92,6 +96,8 @@ __all__ = [
     "Source",
     "RunResult",
     "BatchRunResult",
+    "ResultCache",
+    "CacheStats",
     "pool",
     "WorkerPool",
     "shutdown_shared_pool",

@@ -20,6 +20,10 @@ Seven small tools mirror the original workflow:
     Apply named analysis ops (``repro.analysis`` pipelines) to a saved
     depth-resolved run file and emit the JSON analysis record —
     byte-identical to ``repro.analysis(...).apply(path).to_json()``.
+``repro-cache``
+    Administer the content-addressed result cache: ``stats``, ``prune``
+    (``--max-bytes`` / ``--older-than``), ``clear`` and ``verify`` (which
+    deletes — never serves — unverifiable entries).
 ``repro-benchmark``
     Run the paper's figure sweeps from the command line.
 ``repro-bench``
@@ -53,6 +57,7 @@ __all__ = [
     "main_batch",
     "main_backends",
     "main_analyze",
+    "main_cache",
     "main_benchmark",
     "main_bench",
 ]
@@ -71,6 +76,20 @@ def _add_reconstruction_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cutoff", type=float, default=0.0)
     parser.add_argument("--streaming", action="store_true",
                         help="stream row chunks from disk instead of loading the cube")
+    # two flags, not one optional-argument flag: `--cache ROOT` with nargs="?"
+    # would greedily swallow a following positional input file as the root
+    parser.add_argument("--cache", action="store_true",
+                        help="serve fingerprint-identical requests from the result "
+                             "cache (root: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--cache-root", default=None, metavar="ROOT",
+                        help="result-cache root directory (implies --cache)")
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """The ``cache=`` session argument the shared CLI flags select."""
+    if args.cache_root is not None:
+        return args.cache_root
+    return bool(args.cache)
 
 
 def _config_from_args(args: argparse.Namespace) -> ReconstructionConfig:
@@ -151,8 +170,12 @@ def main_reconstruct(argv: Optional[Sequence[str]] = None) -> int:
 
     config = _config_from_args(args)
     run = session(config=config).run(
-        args.input, output_path=args.output, text_path=args.text
+        args.input, output_path=args.output, text_path=args.text,
+        cache=_cache_from_args(args),
     )
+    if run.cache_stats is not None and run.cache_stats.hit:
+        print(f"cache hit ({run.cache_stats.key[:12]}…, verified digest "
+              f"{run.cache_stats.digest[:12]}…)")
     print(run.report.summary())
     integrated = run.result.integrated_profile()
     peak_bin = int(np.argmax(integrated))
@@ -192,6 +215,7 @@ def main_batch(argv: Optional[Sequence[str]] = None) -> int:
         max_workers=args.max_workers,
         output_dir=args.output_dir,
         keep_results=False,
+        cache=_cache_from_args(args),
     )
     print(format_batch_table(batch))
     return 0 if batch.n_failed == 0 else 1
@@ -281,6 +305,104 @@ def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(document)
     return 0
+
+
+# --------------------------------------------------------------------------- #
+def _format_cache_stats(stats: dict) -> str:
+    """Human rendering of :meth:`~repro.core.cache.ResultCache.stats`."""
+    lines = [
+        f"cache root: {stats['root']}",
+        f"  run entries:      {stats['n_runs']}",
+        f"  analysis memos:   {stats['n_analyses']}",
+        f"  total size:       {stats['total_bytes'] / 1e6:.2f} MB",
+    ]
+    if stats["oldest_unix"] is not None:
+        import datetime
+
+        def _when(ts: float) -> str:
+            return datetime.datetime.fromtimestamp(ts).isoformat(sep=" ", timespec="seconds")
+
+        lines.append(f"  oldest entry:     {_when(stats['oldest_unix'])}")
+        lines.append(f"  newest entry:     {_when(stats['newest_unix'])}")
+    return "\n".join(lines)
+
+
+def main_cache(argv: Optional[Sequence[str]] = None) -> int:
+    """Administer the content-addressed result cache."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect and maintain the content-addressed result cache "
+                    "(default root: $REPRO_CACHE_DIR or ~/.cache/repro).",
+    )
+    # shared flags parse on either side of the subcommand (`repro-cache
+    # stats --json` and `repro-cache --json stats`): they are declared on the
+    # main parser *and* on a parent for the subparsers, with SUPPRESS
+    # defaults so a subparser's default can never clobber a value that was
+    # given before the subcommand
+    def _add_common(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--root", default=argparse.SUPPRESS,
+                            help="cache root directory (overrides REPRO_CACHE_DIR)")
+        target.add_argument("--json", action="store_true", dest="as_json",
+                            default=argparse.SUPPRESS,
+                            help="emit the command's outcome as JSON")
+
+    _add_common(parser)
+    common = argparse.ArgumentParser(add_help=False)
+    _add_common(common)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", parents=[common],
+                   help="show entry counts, total size and age range")
+    prune = sub.add_parser("prune", parents=[common],
+                           help="delete old entries (oldest first)")
+    prune.add_argument("--max-bytes", type=int, default=None,
+                       help="evict oldest entries until the total fits this many bytes")
+    prune.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                       help="delete entries last written more than DAYS days ago")
+    sub.add_parser("clear", parents=[common], help="delete every cache entry")
+    sub.add_parser("verify", parents=[common],
+                   help="load and digest-check every entry; delete the unverifiable")
+
+    args = parser.parse_args(argv)
+    args.root = getattr(args, "root", None)
+    args.as_json = getattr(args, "as_json", False)
+    configure_logging()
+
+    from repro.core.cache import ResultCache
+
+    cache = ResultCache(args.root)
+    if args.command == "stats":
+        stats = cache.stats()
+        print(json.dumps(stats, indent=2, sort_keys=True) if args.as_json
+              else _format_cache_stats(stats))
+        return 0
+    if args.command == "prune":
+        if args.max_bytes is None and args.older_than is None:
+            prune.error("prune requires --max-bytes and/or --older-than")
+        outcome = cache.prune(
+            max_bytes=args.max_bytes,
+            older_than_s=None if args.older_than is None else args.older_than * 86400.0,
+        )
+        print(json.dumps(outcome, indent=2, sort_keys=True) if args.as_json
+              else f"pruned {outcome['removed']} entr(ies), "
+                   f"freed {outcome['freed_bytes'] / 1e6:.2f} MB")
+        return 0
+    if args.command == "clear":
+        outcome = cache.clear()
+        print(json.dumps(outcome, indent=2, sort_keys=True) if args.as_json
+              else f"cleared {outcome['removed']} entr(ies), "
+                   f"freed {outcome['freed_bytes'] / 1e6:.2f} MB")
+        return 0
+    # verify
+    outcome = cache.verify()
+    if args.as_json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        print(f"verified {outcome['checked']} entr(ies), "
+              f"repaired (deleted) {outcome['n_repaired']}")
+        for path in outcome["repaired"]:
+            print(f"  repaired {path}")
+    return 0 if outcome["n_repaired"] == 0 else 1
 
 
 # --------------------------------------------------------------------------- #

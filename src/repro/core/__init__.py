@@ -56,6 +56,12 @@ from repro.core.registry import (
     register_backend_info,
     unregister_backend,
 )
+from repro.core.cache import (
+    CacheStats,
+    ResultCache,
+    compute_cache_key,
+    default_cache_root,
+)
 from repro.core.source import BatchSource, FileSource, Source, StackSource, open
 from repro.core.session import BatchRunResult, RunResult, Session, load, session
 from repro.core.workerpool import (
@@ -126,6 +132,10 @@ __all__ = [
     "StackSource",
     "FileSource",
     "BatchSource",
+    "ResultCache",
+    "CacheStats",
+    "compute_cache_key",
+    "default_cache_root",
     # "open" is public API (repro.core.open) but deliberately absent from
     # __all__ so star-imports never shadow the builtin open
     "Session",

@@ -440,6 +440,23 @@ class AnalysisPipeline:
         """JSON-safe op sequence (the pipeline's provenance contribution)."""
         return [step.to_dict() for step in self._steps]
 
+    def signature(self) -> str:
+        """Stable SHA-256 of the op sequence (ops, order and parameters).
+
+        Two pipelines share a signature exactly when they would produce the
+        same analysis on the same stack; the result cache combines it with
+        the run key to memoize :class:`AnalysisResult` records.  Parameters
+        were JSON-normalized at :meth:`then` time, so the canonical dump
+        below is deterministic.
+        """
+        import hashlib
+        import json
+
+        canonical = json.dumps(
+            self.op_sequence(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
     def describe(self) -> str:
         """Human-readable ``op → op → op`` chain."""
         return " → ".join(step.describe() for step in self._steps) or "<empty>"

@@ -174,6 +174,10 @@ class BatchItem:
     #: the full provenance-carrying RunResult (kept when keep_results=True,
     #: so BatchRunResult.save_all can persist complete run records)
     run: Optional[object] = None
+    #: True when this item was served from the result cache instead of
+    #: reconstructed (incremental run_many) — its wall_time is service
+    #: time (load + optional output write), not reconstruction time
+    cached: bool = False
 
 
 @dataclass
@@ -203,6 +207,16 @@ class BatchReport:
         return self.n_files - self.n_ok
 
     @property
+    def n_cached(self) -> int:
+        """Number of items served from the result cache (not reconstructed)."""
+        return sum(1 for item in self.items if item.cached)
+
+    @property
+    def n_computed(self) -> int:
+        """Number of successful items that were actually reconstructed."""
+        return sum(1 for item in self.items if item.ok and not item.cached)
+
+    @property
     def succeeded(self) -> List[BatchItem]:
         """The successful items, in input order."""
         return [item for item in self.items if item.ok]
@@ -227,15 +241,21 @@ class BatchReport:
     def summary(self) -> str:
         """Human-readable multi-line batch summary."""
         mode = "streaming" if self.streaming else "in-memory"
-        lines = [
+        header = (
             f"batch: {self.n_ok}/{self.n_files} file(s) ok, backend={self.backend} ({mode}), "
-            f"{self.max_workers} worker(s)",
+            f"{self.max_workers} worker(s)"
+        )
+        if self.n_cached:
+            header += f", {self.n_cached} cached"
+        lines = [
+            header,
             f"  wall={self.wall_time:.4f}s file-seconds={self.total_file_seconds:.4f}s "
             f"throughput={self.throughput_files_per_second:.2f} files/s",
         ]
         for item in self.items:
             if item.ok:
-                lines.append(f"  ok   {item.input_path} ({item.wall_time:.4f}s)")
+                tag = "hit " if item.cached else "ok  "
+                lines.append(f"  {tag} {item.input_path} ({item.wall_time:.4f}s)")
             else:
                 lines.append(f"  FAIL {item.input_path}: {item.error}")
         return "\n".join(lines)

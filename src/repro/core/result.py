@@ -73,6 +73,23 @@ class DepthResolvedStack:
         """Sum of all depth-resolved intensity."""
         return float(self.data.sum())
 
+    def content_digest(self) -> str:
+        """SHA-256 of the cube bytes plus the grid definition.
+
+        The integrity stamp the result cache stores with every entry and
+        re-verifies on every hit: a truncated or bit-rotten entry can change
+        its bytes, but it cannot keep this digest consistent, so corruption
+        is always detected before a cached stack is served.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.data).tobytes())
+        digest.update(
+            f"|grid={self.grid.start!r},{self.grid.step!r},{self.grid.n_bins}".encode("utf-8")
+        )
+        return digest.hexdigest()
+
     def image_at_depth(self, depth: float) -> np.ndarray:
         """Detector image for the depth bin containing *depth*."""
         index = int(self.grid.depth_to_index(depth))

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import CacheStats, ResultCache, compute_cache_key, resolve_cache
 from repro.core.config import ReconstructionConfig
 from repro.core.depth_grid import DepthGrid
 from repro.core.engine import execute as engine_execute
@@ -77,6 +78,11 @@ class RunResult:
     text_path: Optional[str] = None
     profile_pixels: Optional[List[List[int]]] = None
     analysis: Optional["object"] = None  # AnalysisResult of the last analyze()
+    #: cache provenance of the run (None when no cache was consulted); a hit
+    #: records the entry path, stored-at time and the digest re-verified
+    #: before serving.  Deliberately NOT part of provenance(): a hit must be
+    #: provenance-identical to the recompute it replaced.
+    cache_stats: Optional[CacheStats] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -209,8 +215,26 @@ class RunResult:
             pipeline = analysis((ops[0], single_op_params))
         else:
             pipeline = analysis(*ops)
-        self.analysis = pipeline.apply(self)
+        self.analysis = self._apply_analysis(pipeline)
         return self.analysis
+
+    # ------------------------------------------------------------------ #
+    def bind_cache(self, cache: ResultCache) -> "RunResult":
+        """Remember the cache this run went through (analysis memoization).
+
+        Called by :class:`~repro.core.cache.ResultCache` on every hit and
+        store; subsequent :meth:`analyze` calls memoize their outcome per
+        (run key, pipeline signature) in the same cache root.
+        """
+        self._bound_cache = cache
+        return self
+
+    def _apply_analysis(self, pipeline):
+        """Apply an analysis pipeline, memoized when this run is cache-bound."""
+        cache = getattr(self, "_bound_cache", None)
+        if cache is not None and self.cache_stats is not None:
+            return cache.analyze(self, pipeline)
+        return pipeline.apply(self)
 
 
 def load(path) -> RunResult:
@@ -283,11 +307,13 @@ class BatchRunResult(BatchReport):
             "n_files": self.n_files,
             "n_ok": self.n_ok,
             "n_failed": self.n_failed,
+            "n_cached": self.n_cached,
             "throughput_files_per_second": self.throughput_files_per_second,
             "items": [
                 {
                     "input_path": item.input_path,
                     "ok": item.ok,
+                    "cached": item.cached,
                     "wall_time": item.wall_time,
                     "output_path": item.output_path,
                     "error": item.error,
@@ -436,6 +462,8 @@ class Session:
     """
 
     config: ReconstructionConfig
+    #: session-level result cache (None: uncached); set with :meth:`cached`
+    cache: Optional[ResultCache] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -448,24 +476,41 @@ class Session:
         """Name of the configured backend."""
         return self.config.backend
 
+    def _with_config(self, config: ReconstructionConfig) -> "Session":
+        """A session with a new config and everything else (cache) kept."""
+        return Session(config=config, cache=self.cache)
+
     def on(self, backend: str, **overrides) -> "Session":
         """A session running on a different backend (plus config overrides)."""
-        return Session(config=self.config.with_backend(backend, **overrides))
+        return self._with_config(self.config.with_backend(backend, **overrides))
 
     def stream(self, rows_per_chunk: Optional[int] = None) -> "Session":
         """A session streaming file sources from disk (out-of-core mode)."""
         overrides: Dict = {"streaming": True}
         if rows_per_chunk is not None:
             overrides["rows_per_chunk"] = rows_per_chunk
-        return Session(config=self.config.with_overrides(**overrides))
+        return self._with_config(self.config.with_overrides(**overrides))
 
     def in_memory(self) -> "Session":
         """A session loading file sources fully into host memory."""
-        return Session(config=self.config.with_overrides(streaming=False))
+        return self._with_config(self.config.with_overrides(streaming=False))
 
     def configure(self, **overrides) -> "Session":
         """A session with arbitrary config fields replaced."""
-        return Session(config=self.config.with_overrides(**overrides))
+        return self._with_config(self.config.with_overrides(**overrides))
+
+    def cached(self, cache=True) -> "Session":
+        """A session whose runs consult a content-addressed result cache.
+
+        ``cache`` accepts ``True`` (the default root: ``REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``), a cache-root path, a prebuilt
+        :class:`~repro.core.cache.ResultCache`, or ``False`` to return an
+        uncached session again.  Every :meth:`run` / :meth:`run_many` on the
+        returned session checks the cache before scheduling and stores fresh
+        results after computing them; a per-call ``cache=`` argument still
+        overrides.
+        """
+        return Session(config=self.config, cache=resolve_cache(cache))
 
     # ------------------------------------------------------------------ #
     def run(
@@ -476,6 +521,7 @@ class Session:
         text_path=None,
         text_pixels: Optional[Sequence[Tuple[int, int]]] = None,
         analyze=None,
+        cache=None,
     ) -> RunResult:
         """Reconstruct one source and return the :class:`RunResult`.
 
@@ -488,6 +534,13 @@ class Session:
         outcome lands on :attr:`RunResult.analysis`.  Text profiles are
         written before the h5lite save so the embedded run record carries
         every output path.
+
+        ``cache`` overrides the session-level cache for this run (``True``,
+        ``False``, a root path or a :class:`~repro.core.cache.ResultCache` —
+        see :meth:`cached`).  With a cache active, a fingerprint-identical
+        earlier result is served bitwise-identical instead of recomputed
+        (``run.cache_stats`` records the hit) and fresh results are stored;
+        requested outputs and analyses are produced either way.
         """
         source = open_source(src)
         if source.is_batch:
@@ -495,6 +548,25 @@ class Session:
                 f"Session.run() reconstructs a single source, got {source.label()}; "
                 "use Session.run_many() for batches"
             )
+        active_cache = resolve_cache(cache, self.cache)
+        key: Optional[str] = None
+        if active_cache is not None:
+            fingerprint = source.fingerprint()
+            if fingerprint is not None:
+                key = compute_cache_key(fingerprint, self.config)
+                hit = active_cache.get(key)
+                if hit is not None:
+                    _LOG.debug("session: cache hit %s for %s", key[:12], source.label())
+                    return self._finish_run(
+                        hit, output_path, text_path, text_pixels, analyze
+                    )
+        run = self._run_cold(source)
+        if key is not None:
+            active_cache.put(key, run)
+        return self._finish_run(run, output_path, text_path, text_pixels, analyze)
+
+    def _run_cold(self, source: Source) -> RunResult:
+        """One uncached reconstruction of an already-opened single source."""
         created = time.time()
         backend = get_backend(self.config.backend)
         chunk_source = source.chunk_source(self.config)
@@ -505,13 +577,22 @@ class Session:
         accounting_note = getattr(chunk_source, "accounting_note", None)
         if accounting_note is not None:
             report.notes.append(accounting_note())
-        run = RunResult(
+        return RunResult(
             result=result,
             report=report,
             config=self.config,
             source=source.identity(),
             created_unix=created,
         )
+
+    @staticmethod
+    def _finish_run(run: RunResult, output_path, text_path, text_pixels, analyze) -> RunResult:
+        """Write the requested outputs / analysis; shared by hits and colds.
+
+        Output writing comes *after* any cache store, so cache entries never
+        embed a caller's output paths — a hit serves the reconstruction, the
+        session serves this request's side effects.
+        """
         if text_path is not None:
             run.write_profiles(text_path, pixels=text_pixels)
         if output_path is not None:
@@ -519,7 +600,7 @@ class Session:
         if analyze is not None:
             from repro.core.ops import as_pipeline
 
-            run.analysis = as_pipeline(analyze).apply(run)
+            run.analysis = run._apply_analysis(as_pipeline(analyze))
         return run
 
     def run_many(
@@ -530,6 +611,7 @@ class Session:
         output_dir: Optional[str] = None,
         keep_results: bool = True,
         memory_budget: Optional[int] = None,
+        cache=None,
     ) -> BatchRunResult:
         """Reconstruct a batch of sources with overlapping whole-file runs.
 
@@ -564,6 +646,16 @@ class Session:
         memory_budget:
             Host bytes the concurrently resident items may occupy
             (default :data:`~repro.core.pipeline.BATCH_MEMORY_BUDGET_BYTES`).
+        cache:
+            Per-call override of the session-level result cache (``True``,
+            ``False``, a root path or a
+            :class:`~repro.core.cache.ResultCache` — see :meth:`cached`).
+            With a cache active the batch is **incremental**: every item's
+            fingerprint is probed first, cached items are served without
+            reconstruction (their :class:`~repro.core.pipeline.BatchItem`
+            has ``cached=True``), and only the changed/unseen items are
+            scheduled — worker count and the memory-budget gate are planned
+            over the recomputed items alone.
         """
         if isinstance(srcs, (list, tuple)):
             # per-entry isolation: an entry that cannot even be normalized
@@ -589,24 +681,59 @@ class Session:
             )
         from repro.core.pipeline import plan_batch_concurrency, run_batch_jobs
 
-        if max_workers is None:
-            max_workers = min(4, len(sources))
-        max_workers = max(1, min(int(max_workers), len(sources)))
-        max_workers = plan_batch_concurrency(
-            sources, self.config, max_workers, memory_budget=memory_budget
-        )
+        batch_start = time.perf_counter()
         output_paths: List[Optional[str]] = [None] * len(sources)
         if output_dir is not None:
             os.makedirs(output_dir, exist_ok=True)
             output_paths = _output_names([source.label() for source in sources], output_dir)
 
+        # incremental recompute: probe every fingerprintable item against the
+        # cache up front, so only the changed/unseen items reach the scheduler.
+        # Keys are kept so a recomputed item stores its result without
+        # fingerprinting (and probing) the same source a second time.
+        active_cache = resolve_cache(cache, self.cache)
+        hit_items: Dict[int, BatchItem] = {}
+        keys: List[Optional[str]] = [None] * len(sources)
+        if active_cache is not None:
+            for index, source in enumerate(sources):
+                fingerprint = source.fingerprint()
+                if fingerprint is None:
+                    continue
+                keys[index] = compute_cache_key(fingerprint, self.config)
+                hit = active_cache.get(keys[index])
+                if hit is None:
+                    continue
+                hit_items[index] = self._serve_batch_hit(
+                    hit, source, output_paths[index], keep_results
+                )
+
+        pending = [index for index in range(len(sources)) if index not in hit_items]
+
+        # worker count and the memory-budget gate are planned over the items
+        # that will actually reconstruct — cached hits occupy no slot
+        if pending:
+            if max_workers is None:
+                max_workers = min(4, len(pending))
+            max_workers = max(1, min(int(max_workers), len(pending)))
+            max_workers = plan_batch_concurrency(
+                [sources[index] for index in pending], self.config,
+                max_workers, memory_budget=memory_budget,
+            )
+        else:
+            max_workers = 0
+
         from concurrent.futures import CancelledError
 
-        def run_one(job: Tuple[Source, Optional[str]]) -> BatchItem:
-            source, item_output = job
+        def run_one(job: Tuple[Source, Optional[str], Optional[str]]) -> BatchItem:
+            source, item_output, key = job
             start = time.perf_counter()
             try:
-                outcome = self.run(source, output_path=item_output)
+                # cache=False: the up-front probe already established the miss
+                # and computed the key — recompute cold and store it directly,
+                # instead of fingerprinting the same source a second time
+                outcome = self.run(source, output_path=item_output, cache=False)
+                if key is not None:
+                    active_cache.put(key, outcome)
             # per-item isolation: record, don't abort.  CancelledError is a
             # BaseException since 3.8 and can surface from a pool future that
             # was cancelled out from under the run — still one item's failure
@@ -631,10 +758,14 @@ class Session:
                 run=outcome if keep_results else None,
             )
 
-        jobs = list(zip(sources, output_paths))
-        start = time.perf_counter()
-        items = run_batch_jobs(jobs, run_one, max_workers)
-        wall = time.perf_counter() - start
+        jobs = [(sources[index], output_paths[index], keys[index]) for index in pending]
+        computed = run_batch_jobs(jobs, run_one, max_workers) if jobs else []
+        by_index = dict(zip(pending, computed))
+        items = [
+            hit_items[index] if index in hit_items else by_index[index]
+            for index in range(len(sources))
+        ]
+        wall = time.perf_counter() - batch_start
 
         outcome = BatchRunResult(
             items=items,
@@ -647,6 +778,47 @@ class Session:
         )
         _LOG.info("batch finished: %s", outcome.summary().splitlines()[0])
         return outcome
+
+    def _serve_batch_hit(
+        self,
+        run: RunResult,
+        source: Source,
+        item_output: Optional[str],
+        keep_results: bool,
+    ) -> BatchItem:
+        """One batch item served from the cache (output still written).
+
+        A failing output write is that *item's* failure, mirroring the
+        per-item isolation of the recompute path.
+        """
+        start = time.perf_counter()
+        try:
+            if item_output is not None:
+                run.save(item_output)
+        except Exception as exc:
+            wall = time.perf_counter() - start
+            _LOG.warning(
+                "batch: cached %s failed to write its output after %.3fs: %s",
+                _item_path(source), wall, exc,
+            )
+            return BatchItem(
+                input_path=_item_path(source),
+                ok=False,
+                wall_time=wall,
+                output_path=item_output,
+                error=f"{type(exc).__name__}: {exc}",
+                cached=True,
+            )
+        return BatchItem(
+            input_path=_item_path(source),
+            ok=True,
+            wall_time=time.perf_counter() - start,
+            output_path=run.output_path,
+            report=run.report,
+            result=run.result if keep_results else None,
+            run=run if keep_results else None,
+            cached=True,
+        )
 
     # ------------------------------------------------------------------ #
     def compare(self, src, backends) -> Dict[str, RunResult]:

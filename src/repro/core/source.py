@@ -19,13 +19,19 @@ A :class:`Source` knows three things:
   streamed :class:`~repro.io.streaming.StreamingWireScanSource` when
   ``config.streaming`` is set and a fully-loaded stack otherwise;
 * its **items** (:meth:`Source.items`) — one entry per reconstructable unit,
-  which is what the batch scheduler iterates.
+  which is what the batch scheduler iterates;
+* its **fingerprint** (:meth:`Source.fingerprint`) — a JSON-safe digest of
+  the *input content identity*, from which :mod:`repro.core.cache` derives
+  content-addressed cache keys.  File sources fingerprint cheaply (path,
+  size, mtime, h5lite-header digest — never the image cube); in-memory
+  sources digest their actual bytes.  ``None`` means "not cacheable".
 """
 
 from __future__ import annotations
 
 import abc
 import glob as _glob
+import hashlib
 import os
 from typing import Dict, List, Optional, Sequence
 
@@ -67,6 +73,18 @@ class Source(abc.ABC):
         """The individual reconstructable units (itself, unless a batch)."""
         return [self]
 
+    def fingerprint(self) -> Optional[Dict]:
+        """JSON-safe content identity for cache keys, ``None`` if uncacheable.
+
+        A fingerprint must change whenever the reconstruction input could
+        change and must never require reading the full image cube of a file
+        source (fingerprinting a batch item has to stay far cheaper than
+        reconstructing it).  Sources that cannot promise a stable identity
+        (invalid entries, batches — which fingerprint per item) return
+        ``None`` and simply bypass the cache.
+        """
+        return None
+
     def describe(self) -> str:
         """One-line description for logs."""
         return f"{type(self).__name__}({self.label()})"
@@ -99,6 +117,38 @@ class StackSource(Source):
     def chunk_source(self, config) -> ChunkSource:
         return StackChunkSource(self.stack)
 
+    def fingerprint(self) -> Optional[Dict]:
+        """Digest of the actual bytes plus the geometry that shapes the run.
+
+        An in-memory stack has no path/mtime identity, so the fingerprint
+        hashes what the reconstruction consumes: the image cube, the pixel
+        mask, the wire trajectory and the detector/beam parameters.  Hashing
+        the cube costs one pass over memory — far cheaper than any backend's
+        reconstruction of the same bytes.
+        """
+        stack = self.stack
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(stack.images).tobytes())
+        digest.update(b"|mask|")
+        if stack.pixel_mask is not None:
+            digest.update(np.ascontiguousarray(stack.pixel_mask).tobytes())
+        digest.update(b"|scan|")
+        digest.update(np.ascontiguousarray(stack.scan.positions).tobytes())
+        geometry = (
+            f"wire_radius={stack.scan.wire.radius!r};"
+            f"detector={stack.detector.n_rows},{stack.detector.n_cols},"
+            f"{stack.detector.pixel_size!r},{stack.detector.distance!r},"
+            f"{tuple(stack.detector.center)!r};"
+            f"beam={tuple(stack.beam.direction)!r},{tuple(stack.beam.origin)!r},"
+            f"{stack.beam.energy_min_kev!r},{stack.beam.energy_max_kev!r}"
+        )
+        digest.update(geometry.encode("utf-8"))
+        return {
+            "kind": self.kind,
+            "shape": list(stack.shape),
+            "sha256": digest.hexdigest(),
+        }
+
 
 class FileSource(Source):
     """A wire-scan ``.h5lite`` file on disk."""
@@ -127,6 +177,30 @@ class FileSource(Source):
         from repro.io.image_stack import load_wire_scan
 
         return StackChunkSource(load_wire_scan(self.path))
+
+    def fingerprint(self) -> Optional[Dict]:
+        """Path + size + mtime + h5lite-header digest, never the image cube.
+
+        The header digest pins the file's structure and metadata; data-only
+        edits are caught by size/mtime (a rewrite bumps at least the mtime).
+        An unreadable or non-h5lite file returns ``None`` — it cannot be
+        cached, and the failure surfaces where it always did: when the item
+        is actually reconstructed.
+        """
+        from repro.io.h5lite import H5LiteError, header_digest
+
+        try:
+            stat = os.stat(self.path)
+            digest = header_digest(self.path)
+        except (OSError, H5LiteError):
+            return None
+        return {
+            "kind": self.kind,
+            "path": os.path.abspath(self.path),
+            "bytes": int(stat.st_size),
+            "mtime_ns": int(stat.st_mtime_ns),
+            "header_sha256": digest,
+        }
 
 
 class InvalidSource(Source):

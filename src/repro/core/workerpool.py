@@ -43,6 +43,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import weakref
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from multiprocessing import shared_memory
@@ -189,11 +190,28 @@ _shared_lock = threading.Lock()
 _pins = 0
 _atexit_registered = False
 
+#: every not-yet-closed SlabArena, swept at interpreter exit so no /dev/shm
+#: segment outlives the process even when a run never reached its close()
+_open_arenas: "weakref.WeakSet[SlabArena]" = weakref.WeakSet()
+
+
+def _close_open_arenas() -> None:
+    """Unlink every surviving arena's segments (idempotent, exit-safe).
+
+    Runs at interpreter exit *before* :func:`shutdown_shared_pool`
+    (atexit is LIFO and both hooks register together): names disappear
+    first, then the pool teardown reaps the workers — whose own mappings
+    stay valid until they exit, exactly like an unlinked open file.
+    """
+    for arena in list(_open_arenas):
+        arena.close()
+
 
 def _register_atexit() -> None:
     global _atexit_registered
     if not _atexit_registered:
         atexit.register(shutdown_shared_pool)
+        atexit.register(_close_open_arenas)
         _atexit_registered = True
 
 
@@ -299,6 +317,11 @@ class SlabArena:
         self.n_created = 0
         #: peak number of simultaneously leased segments
         self.peak_leased = 0
+        # exit-safety net: arenas that never reach an explicit close() (a run
+        # aborted outside the engine's finally, a leaked executor) are swept
+        # by the atexit hook, so /dev/shm segments cannot outlive the process
+        _register_atexit()
+        _open_arenas.add(self)
 
     # ------------------------------------------------------------------ #
     @property
@@ -360,6 +383,7 @@ class SlabArena:
                 self._leased.clear()
                 self._free.clear()
             self._closed = True
+        _open_arenas.discard(self)
         for shm in segments:
             _destroy_segment(shm)
 

@@ -26,15 +26,54 @@ the start of the data section, so readers can seek directly to any chunk.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["H5LiteError", "Dataset", "Group", "H5LiteFile", "json_normalize"]
+__all__ = [
+    "H5LiteError",
+    "Dataset",
+    "Group",
+    "H5LiteFile",
+    "json_normalize",
+    "header_digest",
+]
 
 _MAGIC = b"H5LITE01"
+
+
+def header_digest(path) -> str:
+    """SHA-256 over the magic, header length and JSON header bytes of *path*.
+
+    The header describes the whole tree — shapes, dtypes, chunking, every
+    attribute — so any structural or metadata change moves this digest while
+    the (potentially huge) data section is never read.  This is what source
+    fingerprinting uses as the cheap content component of a cache key;
+    pure data edits are caught by the size/mtime components instead.
+    Raises :class:`H5LiteError` for missing or non-h5lite files.
+    """
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(8)
+            if magic != _MAGIC:
+                raise H5LiteError(f"{path} is not an h5lite file (bad magic {magic!r})")
+            length_bytes = fh.read(8)
+            if len(length_bytes) != 8:
+                raise H5LiteError(f"truncated h5lite file {path} (no header length)")
+            (header_len,) = np.frombuffer(length_bytes, dtype=np.uint64)
+            header_bytes = fh.read(int(header_len))
+            if len(header_bytes) != int(header_len):
+                raise H5LiteError(f"truncated h5lite header in {path}")
+    except OSError as exc:
+        raise H5LiteError(f"cannot read {path}: {exc}") from None
+    digest = hashlib.sha256()
+    digest.update(magic)
+    digest.update(length_bytes)
+    digest.update(header_bytes)
+    return digest.hexdigest()
 
 
 class H5LiteError(IOError):

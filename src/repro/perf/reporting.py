@@ -80,18 +80,23 @@ def format_batch_table(batch) -> str:
         if len(name) > 38:
             name = "..." + name[-35:]
         if item.ok and item.report is not None:
+            status = "hit" if getattr(item, "cached", False) else "ok"
             lines.append(
-                f"{name:<40s}{'ok':>8s}{item.wall_time:>12.4f}"
+                f"{name:<40s}{status:>8s}{item.wall_time:>12.4f}"
                 f"{item.report.n_chunks:>8d}{item.report.n_active_pixels:>12d}"
             )
         else:
             lines.append(f"{name:<40s}{'FAIL':>8s}{item.wall_time:>12.4f}{'-':>8s}{'-':>12s}")
             lines.append(f"    error: {item.error}")
     lines.append("-" * len(header))
-    lines.append(
+    footer = (
         f"{batch.n_ok}/{batch.n_files} ok in {batch.wall_time:.4f}s wall "
         f"({batch.max_workers} worker(s), {batch.throughput_files_per_second:.2f} files/s)"
     )
+    n_cached = getattr(batch, "n_cached", 0)
+    if n_cached:
+        footer += f", {n_cached} cached"
+    lines.append(footer)
     return "\n".join(lines)
 
 

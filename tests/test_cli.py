@@ -11,6 +11,7 @@ from repro.cli import (
     main_batch,
     main_bench,
     main_benchmark,
+    main_cache,
     main_generate,
     main_reconstruct,
 )
@@ -224,6 +225,67 @@ class TestAnalyzeCli:
             main_analyze([str(depth_file), "peaks:{broken"])
         with pytest.raises(SystemExit, match="must be a JSON object"):
             main_analyze([str(depth_file), "peaks:[1]"])
+
+
+class TestCache:
+    def _generate(self, tmp_path):
+        scan = tmp_path / "scan.h5lite"
+        main_generate([str(scan), "--kind", "benchmark", "--size-label", "0.05MB"])
+        return str(scan)
+
+    def test_reconstruct_cache_flag_hits_on_second_run(self, tmp_path, capsys):
+        scan = self._generate(tmp_path)
+        root = str(tmp_path / "cache")
+        assert main_reconstruct([scan, "--cache-root", root]) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main_reconstruct([scan, "--cache-root", root]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_batch_cache_flag_marks_cached_items(self, tmp_path, capsys):
+        scan = self._generate(tmp_path)
+        root = str(tmp_path / "cache")
+        assert main_batch([scan, "--cache-root", root]) == 0
+        capsys.readouterr()
+        assert main_batch([scan, "--cache-root", root]) == 0
+        assert "1 cached" in capsys.readouterr().out
+
+    def test_stats_verify_prune_clear_round_trip(self, tmp_path, capsys):
+        scan = self._generate(tmp_path)
+        root = str(tmp_path / "cache")
+        main_reconstruct([scan, "--cache-root", root])
+        capsys.readouterr()
+
+        assert main_cache(["--root", root, "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_runs"] == 1 and stats["total_bytes"] > 0
+
+        assert main_cache(["--root", root, "verify"]) == 0
+        assert "repaired (deleted) 0" in capsys.readouterr().out
+
+        assert main_cache(["--root", root, "prune", "--older-than", "30", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 0
+
+        assert main_cache(["--root", root, "clear", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 1
+
+    def test_verify_reports_and_deletes_broken_entries(self, tmp_path, capsys):
+        import glob
+        import os
+
+        scan = self._generate(tmp_path)
+        root = str(tmp_path / "cache")
+        main_reconstruct([scan, "--cache-root", root])
+        entry = glob.glob(os.path.join(root, "runs", "*", "*.h5lite"))[0]
+        with open(entry, "r+b") as fh:
+            fh.write(b"garbage!")
+        capsys.readouterr()
+        assert main_cache(["--root", root, "verify"]) == 1  # non-zero: repairs made
+        assert "repaired (deleted) 1" in capsys.readouterr().out
+        assert not os.path.exists(entry)
+
+    def test_prune_requires_a_bound(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_cache(["--root", str(tmp_path), "prune"])
 
 
 class TestBench:

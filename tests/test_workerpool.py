@@ -222,3 +222,100 @@ class TestSlabArena:
         del view
         arena.close()
         _assert_unlinked([slab.name])
+
+    def test_close_and_late_release_fully_idempotent(self):
+        """Second close() and release()-after-close never raise or double-unlink."""
+        arena = SlabArena()
+        leased = arena.lease(256)
+        returned = arena.lease(256)
+        arena.release(returned)
+        arena.close()
+        # every combination of late calls must be a no-op, not an error: a
+        # crashed run can interleave them in any order
+        arena.close()
+        arena.release(leased)
+        arena.release(leased)
+        arena.release(returned)
+        arena.close()
+        _assert_unlinked([leased.name, returned.name])
+        assert arena.closed
+
+    def test_double_release_does_not_duplicate_free_list(self):
+        arena = SlabArena()
+        slab = arena.lease(128)
+        arena.release(slab)
+        arena.release(slab)  # second release must not enqueue a duplicate
+        first = arena.lease(128)
+        second = arena.lease(128)
+        assert first.name != second.name  # duplicate would hand the slab out twice
+        arena.close()
+
+
+# --------------------------------------------------------------------------- #
+class TestInterpreterExitCleanup:
+    """No /dev/shm segment may outlive the interpreter, even without close()."""
+
+    def _run_subprocess(self, body: str) -> str:
+        """Run *body* in a fresh interpreter rooted at the repo; returns stdout."""
+        import os
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", body],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=repo_root,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_abandoned_arena_swept_at_exit(self):
+        """An arena that never reaches close() is unlinked by the atexit sweep."""
+        out = self._run_subprocess(
+            "from repro.core.workerpool import SlabArena\n"
+            "arena = SlabArena()\n"
+            "slab = arena.lease(4096)\n"
+            "free = arena.lease(4096)\n"
+            "arena.release(free)\n"
+            "print(slab.name)\n"
+            "# exit WITHOUT close(): the atexit hook must sweep the segments\n"
+        )
+        _assert_unlinked([out.strip()])
+
+    def test_multiprocess_run_without_explicit_shutdown_leaves_no_segments(self):
+        """A real shm-dispatch run + plain interpreter exit leaks nothing.
+
+        The subprocess reconstructs on the multiprocess backend (zero-copy
+        dispatch), prints every segment name its executor's arena created,
+        and exits without calling shutdown_shared_pool() or any close —
+        the atexit-registered cleanup must leave /dev/shm empty.
+        """
+        out = self._run_subprocess(
+            "from repro.core.backends.multiprocess import MultiprocessExecutor\n"
+            "from repro.core.config import ReconstructionConfig\n"
+            "from repro.core.engine import StackChunkSource, execute\n"
+            "from repro.core.depth_grid import DepthGrid\n"
+            "from tests.helpers import make_tiny_stack\n"
+            "stack = make_tiny_stack(n_rows=4, n_cols=4, n_positions=9)\n"
+            "config = ReconstructionConfig(\n"
+            "    grid=DepthGrid.from_range(0.0, 100.0, 8),\n"
+            "    backend='multiprocess', n_workers=2,\n"
+            ")\n"
+            "executor = MultiprocessExecutor(dispatch='shm')\n"
+            "execute(StackChunkSource(stack), config, executor)\n"
+            "for name in executor.arena.created_names:\n"
+            "    print(name)\n"
+            "# no shutdown_shared_pool(), no arena close: atexit must clean up\n"
+        )
+        names = [line for line in out.strip().splitlines() if line]
+        assert names, "the shm run should have created at least one segment"
+        _assert_unlinked(names)
