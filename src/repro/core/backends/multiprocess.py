@@ -49,7 +49,7 @@ from repro.core.engine import (
     build_execution_plan,
     compute_stack_background,
 )
-from repro.core.kernels import KernelContext, depth_resolve_chunk_vectorized
+from repro.core.kernels import KernelContext, depth_resolve_chunk_fused
 from repro.core.workerpool import SlabArena, WorkerPool, shared_pool
 from repro.geometry.wire import WireEdge
 from repro.utils.validation import ValidationError
@@ -108,7 +108,7 @@ def _reconstruct_into_shared(payload: dict, in_shm, out_shm) -> None:
     out = np.ndarray(tuple(payload["out_shape"]), dtype=np.float64, buffer=out_shm.buf)
     ctx = _context_from_payload(payload, images)
     out[...] = 0.0  # recycled slabs carry the previous band's result
-    depth_resolve_chunk_vectorized(ctx, out)
+    depth_resolve_chunk_fused(ctx, out)
 
 
 def _worker_reconstruct_rows(payload: dict) -> None:
@@ -137,7 +137,7 @@ def _worker_reconstruct_rows_pickled(payload: dict) -> np.ndarray:
     """Legacy dispatch: arrays pickled in, partial cube pickled back."""
     ctx = _context_from_payload(payload, payload["images"])
     out = np.zeros((payload["grid_n_bins"], ctx.n_rows, ctx.n_cols), dtype=np.float64)
-    depth_resolve_chunk_vectorized(ctx, out)
+    depth_resolve_chunk_fused(ctx, out)
     return out
 
 
@@ -310,7 +310,7 @@ class MultiprocessExecutor(ChunkExecutor):
         if self._pool is None:
             # in-process fall-back (n_workers == 1): no pool, no copies
             out = np.zeros((self._config.grid.n_bins, ctx.n_rows, ctx.n_cols), dtype=np.float64)
-            depth_resolve_chunk_vectorized(ctx, out)
+            depth_resolve_chunk_fused(ctx, out)
             yield row_start, out
             return
         if self._dispatch == "shm":

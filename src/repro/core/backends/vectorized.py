@@ -6,7 +6,10 @@ numerical twin of the GPU-sim backend without the device-memory constraint
 and transfer accounting.
 
 The chunk loop, accounting and reporting live in the shared engine; this
-module only supplies the vectorised per-chunk compute.
+module only supplies the vectorised per-chunk compute.  The per-chunk kernel
+is the fused single-pass form (:func:`depth_resolve_chunk_fused`), bitwise
+identical to the scalar reference; ``config.executor`` selects where it runs
+(serial / threads / processes) via :func:`make_strategy_executor`.
 """
 
 from __future__ import annotations
@@ -17,14 +20,14 @@ import numpy as np
 
 from repro.core.backends.base import Backend, register_backend
 from repro.core.config import ReconstructionConfig
-from repro.core.engine import ChunkExecutor
-from repro.core.kernels import KernelContext, depth_resolve_chunk_vectorized
+from repro.core.engine import ChunkExecutor, make_strategy_executor
+from repro.core.kernels import KernelContext, depth_resolve_chunk_fused
 
 __all__ = ["VectorizedBackend", "VectorizedExecutor"]
 
 
 class VectorizedExecutor(ChunkExecutor):
-    """NumPy data-parallel execution of each chunk."""
+    """NumPy data-parallel execution of each chunk, serial in the caller."""
 
     name = "vectorized"
 
@@ -36,7 +39,7 @@ class VectorizedExecutor(ChunkExecutor):
         self, ctx: KernelContext, row_start: int, row_stop: int
     ) -> Iterable[Tuple[int, np.ndarray]]:
         partial = np.zeros((ctx.grid.n_bins, ctx.n_rows, ctx.n_cols), dtype=np.float64)
-        depth_resolve_chunk_vectorized(ctx, partial)
+        depth_resolve_chunk_fused(ctx, partial)
         self._n_launches += 1
         self._n_threads += ctx.n_steps * ctx.n_rows * ctx.n_cols
         yield row_start, partial
@@ -48,7 +51,7 @@ class VectorizedExecutor(ChunkExecutor):
         }
 
     def notes(self) -> List[str]:
-        return ["host NumPy vectorised execution"]
+        return ["host NumPy fused single-pass execution"]
 
 
 @register_backend(
@@ -62,4 +65,4 @@ class VectorizedBackend(Backend):
     name = "vectorized"
 
     def make_executor(self, config: ReconstructionConfig) -> ChunkExecutor:
-        return VectorizedExecutor()
+        return make_strategy_executor(config)

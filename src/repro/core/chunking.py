@@ -21,10 +21,93 @@ from typing import List, Optional, Tuple
 from repro.core.layouts import get_layout
 from repro.utils.validation import ValidationError
 
-__all__ = ["ChunkPlan", "plan_row_chunks", "estimate_chunk_device_bytes"]
+__all__ = [
+    "ChunkPlan",
+    "plan_row_chunks",
+    "estimate_chunk_device_bytes",
+    "DEFAULT_MIN_ELEMENTS_PER_DISPATCH",
+    "DEFAULT_COMPUTE_PER_DISPATCH_RATIO",
+    "min_elements_for_dispatch",
+    "granularity_floor_rows",
+    "plan_worker_bands",
+]
 
 _FLOAT_BYTES = 8
 _MASK_BYTES = 1
+
+#: Default floor on (step, row, col) elements per dispatched work unit.
+#: Below this, dispatch overhead (a pool submit + a future wait, or a shm
+#: lease + copy) rivals the kernel time of the unit itself and the scaling
+#: curve bends down.  Calibrate it to a measured host with
+#: :func:`min_elements_for_dispatch` (the auto-tuner does).
+DEFAULT_MIN_ELEMENTS_PER_DISPATCH = 65536
+
+#: How many times longer than the dispatch overhead a work unit's compute
+#: should run.  10x keeps the overhead under ~10 % of each dispatch.
+DEFAULT_COMPUTE_PER_DISPATCH_RATIO = 10.0
+
+
+def min_elements_for_dispatch(
+    dispatch_overhead_s: float,
+    elements_per_second: float,
+    target_ratio: float = DEFAULT_COMPUTE_PER_DISPATCH_RATIO,
+) -> int:
+    """Element floor per work unit from *measured* host throughput.
+
+    A dispatch that costs ``dispatch_overhead_s`` seconds should carry at
+    least ``target_ratio`` times that much kernel work, i.e.
+    ``target_ratio * dispatch_overhead_s * elements_per_second`` elements.
+    Falls back to :data:`DEFAULT_MIN_ELEMENTS_PER_DISPATCH` when the inputs
+    are degenerate (non-positive measurements).
+    """
+    if dispatch_overhead_s <= 0.0 or elements_per_second <= 0.0 or target_ratio <= 0.0:
+        return DEFAULT_MIN_ELEMENTS_PER_DISPATCH
+    return max(1, int(target_ratio * dispatch_overhead_s * elements_per_second))
+
+
+def granularity_floor_rows(
+    n_cols: int,
+    n_steps: int,
+    min_elements_per_dispatch: int = DEFAULT_MIN_ELEMENTS_PER_DISPATCH,
+) -> int:
+    """Minimum rows per dispatched band so each band meets the element floor."""
+    elements_per_row = max(1, int(n_cols) * int(n_steps))
+    return max(1, -(-int(min_elements_per_dispatch) // elements_per_row))
+
+
+def plan_worker_bands(
+    n_rows: int,
+    n_cols: int,
+    n_steps: int,
+    n_workers: int,
+    min_elements_per_dispatch: int = DEFAULT_MIN_ELEMENTS_PER_DISPATCH,
+) -> List[Tuple[int, int]]:
+    """Contiguous row bands for parallel dispatch, coarsened to the element floor.
+
+    Starts from one near-equal band per worker and merges bands until every
+    band carries at least *min_elements_per_dispatch* ``(step, row, col)``
+    elements (except when the whole problem is smaller than the floor, which
+    collapses to a single band).  Guarantees: bands tile ``[0, n_rows)`` in
+    order, and there are never more bands than ``n_workers``.
+    """
+    if n_rows < 1:
+        raise ValidationError("n_rows must be >= 1")
+    n_workers = max(1, int(n_workers))
+    floor_rows = granularity_floor_rows(n_cols, n_steps, min_elements_per_dispatch)
+    band_rows = max(floor_rows, -(-n_rows // n_workers))
+    n_bands = max(1, -(-n_rows // band_rows))
+    # near-equal split of n_rows over n_bands (same scheme as one-band-per-
+    # worker: the first n_rows % n_bands bands get one extra row)
+    base, extra = divmod(n_rows, n_bands)
+    bands: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(n_bands):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        bands.append((start, start + size))
+        start += size
+    return bands
 
 
 def estimate_chunk_device_bytes(

@@ -4,13 +4,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.core.depth_grid import DepthGrid
 from repro.geometry.wire import WireEdge
 from repro.utils.validation import ValidationError, ensure_non_negative
 
-__all__ = ["DifferenceMode", "ReconstructionConfig"]
+__all__ = ["DifferenceMode", "ReconstructionConfig", "EXECUTOR_CHOICES", "AUTO"]
+
+#: Sentinel accepted by ``n_workers`` and ``executor`` for auto-tuned values.
+AUTO = "auto"
+
+#: Executor strategies for the host-parallel hot path: how the vectorised
+#: compute is dispatched.  ``serial`` runs in the calling thread; ``threads``
+#: fans row bands out to the shared thread pool (the fused kernels release
+#: the GIL inside their ufunc loops); ``processes`` uses the persistent
+#: process pool with shared-memory dispatch; ``auto`` lets the auto-tuner
+#: pick from a cached throughput probe.
+EXECUTOR_CHOICES = ("serial", "threads", "processes", AUTO)
 
 
 class DifferenceMode(enum.Enum):
@@ -62,7 +73,16 @@ class ReconstructionConfig:
         Optional override (bytes) of the simulated device memory, used to
         scale the 6 GB constraint down to laptop-sized problems.
     n_workers:
-        Worker count for the multiprocess backend.
+        Worker count for the multiprocess/threaded backends and the
+        ``threads``/``processes`` executor strategies.  The string
+        ``"auto"`` asks the auto-tuner for a calibrated count (resolved by
+        the session before execution).
+    executor:
+        Executor strategy for the vectorized backend's hot path: one of
+        ``serial`` (in the calling thread, the default), ``threads`` (row
+        bands on the shared GIL-releasing thread pool), ``processes``
+        (the persistent process pool) or ``auto`` (pick from the cached
+        throughput probe of :mod:`repro.perf.autotune`).
     subtract_background:
         If true, a constant per-image background (the median of the whole
         image) is subtracted before distribution.  The levels are computed
@@ -83,7 +103,8 @@ class ReconstructionConfig:
     layout: str = "flat1d"
     rows_per_chunk: Optional[int] = None
     device_memory_limit: Optional[int] = None
-    n_workers: int = 2
+    n_workers: Union[int, str] = 2
+    executor: str = "serial"
     subtract_background: bool = False
     streaming: bool = False
 
@@ -101,8 +122,17 @@ class ReconstructionConfig:
             raise ValidationError("rows_per_chunk must be >= 1 when given")
         if self.device_memory_limit is not None and int(self.device_memory_limit) < 1:
             raise ValidationError("device_memory_limit must be positive when given")
-        if int(self.n_workers) < 1:
+        if isinstance(self.n_workers, str):
+            if self.n_workers != AUTO:
+                raise ValidationError(
+                    f"n_workers must be an int >= 1 or 'auto', got {self.n_workers!r}"
+                )
+        elif int(self.n_workers) < 1:
             raise ValidationError("n_workers must be >= 1")
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValidationError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTOR_CHOICES}"
+            )
         # fail fast on backend typos (with a did-you-mean suggestion) instead
         # of erroring deep inside reconstruct(); the registry is the single
         # source of truth for what names exist
@@ -141,7 +171,8 @@ class ReconstructionConfig:
             "layout": self.layout,
             "rows_per_chunk": self.rows_per_chunk,
             "device_memory_limit": self.device_memory_limit,
-            "n_workers": int(self.n_workers),
+            "n_workers": self.n_workers if isinstance(self.n_workers, str) else int(self.n_workers),
+            "executor": self.executor,
             "subtract_background": bool(self.subtract_background),
             "streaming": bool(self.streaming),
         }

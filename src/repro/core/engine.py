@@ -69,6 +69,7 @@ __all__ = [
     "compute_stack_background",
     "execute",
     "execute_backend",
+    "make_strategy_executor",
 ]
 
 _LOG = get_logger(__name__)
@@ -316,6 +317,35 @@ class ChunkExecutor(abc.ABC):
 
     def close(self) -> None:
         """Release per-run resources; called even when a chunk raises."""
+
+
+def make_strategy_executor(config: ReconstructionConfig) -> "ChunkExecutor":
+    """The :class:`ChunkExecutor` implementing ``config.executor``.
+
+    The executor-strategy axis is orthogonal to the backend axis: a backend
+    defines *what* the per-chunk compute is, the strategy defines *where* it
+    runs — ``serial`` in the calling thread, ``threads`` on the shared
+    GIL-releasing thread pool, ``processes`` on the persistent process pool.
+    The vectorized backend routes through here so ``config.executor``
+    selects among them without changing backends.
+
+    An unresolved ``auto`` falls back to serial: the session resolves
+    ``auto`` against the tuner cache *before* execution, so seeing it here
+    means the caller bypassed the session — the safe default is the one
+    every machine can honour.
+    """
+    # deferred imports: the backend modules import this engine module
+    if config.executor == "threads":
+        from repro.core.backends.threaded import ThreadedExecutor
+
+        return ThreadedExecutor()
+    if config.executor == "processes":
+        from repro.core.backends.multiprocess import MultiprocessExecutor
+
+        return MultiprocessExecutor()
+    from repro.core.backends.vectorized import VectorizedExecutor
+
+    return VectorizedExecutor()
 
 
 # --------------------------------------------------------------------------- #

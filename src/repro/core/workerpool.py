@@ -44,7 +44,7 @@ import atexit
 import os
 import threading
 import weakref
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional
@@ -53,16 +53,65 @@ from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "BLAS_ENV_VARS",
     "WorkerPool",
+    "ThreadPool",
     "SlabArena",
     "attach_slab",
+    "pin_blas_threads",
     "pool",
     "shared_pool",
     "shutdown_shared_pool",
+    "shared_thread_pool",
+    "shutdown_shared_thread_pool",
     "default_worker_count",
 ]
 
 _LOG = get_logger(__name__)
+
+#: Environment knobs the common BLAS/OpenMP runtimes read for their internal
+#: thread counts.  Worker processes and benchmark harnesses pin these to 1:
+#: the parallelism budget belongs to *our* workers, and a BLAS that silently
+#: spawns its own threads per worker oversubscribes the host and corrupts
+#: every scaling measurement.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_blas_threads(n_threads: int = 1) -> Dict[str, Optional[str]]:
+    """Pin the BLAS/OpenMP thread-count environment knobs to *n_threads*.
+
+    Returns the previous values (``None`` for variables that were unset) so a
+    caller can restore them.  Environment variables are read by most BLAS
+    runtimes at library-load time, so the pin is authoritative in processes
+    that set it before importing numpy — which is exactly what the worker
+    initializer does (workers fork/spawn before their first kernel import
+    path runs) — and best-effort in an already-running parent; for the
+    latter, :mod:`threadpoolctl` is applied on top when it is installed.
+    """
+    if int(n_threads) < 1:
+        raise ValidationError("n_threads must be >= 1")
+    previous: Dict[str, Optional[str]] = {}
+    for name in BLAS_ENV_VARS:
+        previous[name] = os.environ.get(name)
+        os.environ[name] = str(int(n_threads))
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(limits=int(n_threads))
+    except Exception:
+        pass
+    return previous
+
+
+def _pin_worker_blas(n_threads: int) -> None:
+    """Process-pool initializer: pin BLAS threading inside each worker."""
+    pin_blas_threads(n_threads)
 
 
 def default_worker_count() -> int:
@@ -95,10 +144,15 @@ class WorkerPool:
     reuse benchmarks assert it stays at one across many runs.
     """
 
-    def __init__(self, max_workers: int):
+    def __init__(self, max_workers: int, blas_threads: Optional[int] = 1):
         if int(max_workers) < 1:
             raise ValidationError("max_workers must be >= 1")
+        if blas_threads is not None and int(blas_threads) < 1:
+            raise ValidationError("blas_threads must be >= 1 when given")
         self.max_workers = int(max_workers)
+        #: BLAS/OpenMP thread count pinned inside each worker process (None
+        #: leaves the workers' inherited environment untouched)
+        self.blas_threads = None if blas_threads is None else int(blas_threads)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._pid: Optional[int] = None
         self._broken = False
@@ -129,7 +183,14 @@ class WorkerPool:
                     self._executor.shutdown(wait=True, cancel_futures=True)
                 # after fork() the inherited executor is abandoned, not shut
                 # down: its processes belong to the parent
-                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+                if self.blas_threads is None:
+                    self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        initializer=_pin_worker_blas,
+                        initargs=(self.blas_threads,),
+                    )
                 self._pid = os.getpid()
                 self._broken = False
                 self.n_spawns += 1
@@ -183,6 +244,74 @@ class WorkerPool:
         return f"WorkerPool(max_workers={self.max_workers}, {state}, spawns={self.n_spawns})"
 
 
+class ThreadPool:
+    """A lazily created, reusable thread pool — the in-process twin of
+    :class:`WorkerPool`.
+
+    Backs the ``threads`` executor strategy: the fused numpy kernels spend
+    their time inside GIL-releasing ufunc loops, so threads parallelise them
+    without process dispatch, pickling or shared-memory round-trips.  Threads
+    do not survive ``fork()`` (only the calling thread exists in the child),
+    so like :class:`WorkerPool` the executor is respawned when it was created
+    in another process.
+    """
+
+    def __init__(self, max_workers: int):
+        if int(max_workers) < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pid: Optional[int] = None
+        self._lock = threading.Lock()
+        #: number of ThreadPoolExecutor spawns over this pool's lifetime
+        self.n_spawns = 0
+        #: number of tasks ever submitted
+        self.n_submitted = 0
+
+    @property
+    def alive(self) -> bool:
+        """True when the underlying executor exists and belongs to this process."""
+        return self._executor is not None and self._pid == os.getpid()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if not self.alive:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-worker"
+                )
+                self._pid = os.getpid()
+                self.n_spawns += 1
+                _LOG.debug(
+                    "workerpool: spawned thread executor #%d (%d threads, pid %d)",
+                    self.n_spawns, self.max_workers, self._pid,
+                )
+            return self._executor
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Submit a task, respawning the executor if it was shut down."""
+        self.n_submitted += 1
+        try:
+            return self._ensure().submit(fn, *args, **kwargs)
+        except RuntimeError:
+            # shut down concurrently: one respawn attempt, then surface
+            with self._lock:
+                self._executor = None
+            return self._ensure().submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the underlying executor down (the wrapper stays reusable)."""
+        with self._lock:
+            executor = self._executor if self._pid == os.getpid() else None
+            self._executor = None
+            self._pid = None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "idle"
+        return f"ThreadPool(max_workers={self.max_workers}, {state}, spawns={self.n_spawns})"
+
+
 # --------------------------------------------------------------------------- #
 # the session-wide shared pool
 _shared: Optional[WorkerPool] = None
@@ -211,38 +340,42 @@ def _register_atexit() -> None:
     global _atexit_registered
     if not _atexit_registered:
         atexit.register(shutdown_shared_pool)
+        atexit.register(shutdown_shared_thread_pool)
         atexit.register(_close_open_arenas)
         _atexit_registered = True
 
 
-def _shared_pool_locked(n_workers: int) -> WorkerPool:
+def _shared_pool_locked(n_workers: int, blas_threads: Optional[int] = 1) -> WorkerPool:
     """Body of :func:`shared_pool`; caller must hold ``_shared_lock``."""
     global _shared
     if int(n_workers) < 1:
         raise ValidationError("n_workers must be >= 1")
     _register_atexit()
+    blas = None if blas_threads is None else int(blas_threads)
     if _shared is None:
-        _shared = WorkerPool(int(n_workers))
-    elif _shared.max_workers != int(n_workers) and _pins == 0:
+        _shared = WorkerPool(int(n_workers), blas_threads=blas)
+    elif (
+        _shared.max_workers != int(n_workers) or _shared.blas_threads != blas
+    ) and _pins == 0:
         # wait=True: the resize must not strand queued work on orphaned
         # workers, nor surface a surprise CancelledError in a run that
         # is still draining its futures
         _shared.shutdown(wait=True)
-        _shared = WorkerPool(int(n_workers))
+        _shared = WorkerPool(int(n_workers), blas_threads=blas)
     return _shared
 
 
-def shared_pool(n_workers: int) -> WorkerPool:
+def shared_pool(n_workers: int, blas_threads: Optional[int] = 1) -> WorkerPool:
     """The process pool every multiprocess run reuses.
 
     Created lazily on first request and kept alive across runs and files; a
-    request for a *different* worker count respawns it — unless a
-    :func:`pool` context has pinned it, in which case the pinned pool is
+    request for a *different* worker count (or BLAS pin) respawns it — unless
+    a :func:`pool` context has pinned it, in which case the pinned pool is
     returned as-is (the executor partitions its row bands independently of
     the pool width, so any pool size serves any run).
     """
     with _shared_lock:
-        return _shared_pool_locked(n_workers)
+        return _shared_pool_locked(n_workers, blas_threads)
 
 
 def shutdown_shared_pool() -> None:
@@ -254,8 +387,44 @@ def shutdown_shared_pool() -> None:
             _shared = None
 
 
+# --------------------------------------------------------------------------- #
+# the session-wide shared thread pool (the ``threads`` executor strategy)
+_shared_threads: Optional[ThreadPool] = None
+_shared_threads_lock = threading.Lock()
+
+
+def shared_thread_pool(n_workers: int) -> ThreadPool:
+    """The thread pool every threaded-executor run reuses.
+
+    Mirrors :func:`shared_pool`: created lazily, kept alive across runs, and
+    respawned when a different worker count is requested.  Thread start-up is
+    microseconds (not a process fork), so there is no pinning mechanism — the
+    resize is always cheap.
+    """
+    global _shared_threads
+    if int(n_workers) < 1:
+        raise ValidationError("n_workers must be >= 1")
+    _register_atexit()
+    with _shared_threads_lock:
+        if _shared_threads is None:
+            _shared_threads = ThreadPool(int(n_workers))
+        elif _shared_threads.max_workers != int(n_workers):
+            _shared_threads.shutdown(wait=True)
+            _shared_threads = ThreadPool(int(n_workers))
+        return _shared_threads
+
+
+def shutdown_shared_thread_pool() -> None:
+    """Tear down the shared thread pool."""
+    global _shared_threads
+    with _shared_threads_lock:
+        if _shared_threads is not None:
+            _shared_threads.shutdown(wait=True)
+            _shared_threads = None
+
+
 @contextmanager
-def pool(workers: Optional[int] = None):
+def pool(workers: Optional[int] = None, blas_threads: Optional[int] = 1):
     """Keep one pre-spawned worker pool alive for a block of runs.
 
     ::
@@ -270,6 +439,11 @@ def pool(workers: Optional[int] = None):
     deterministically.  Outside any ``pool()`` block the engine still reuses
     a lazily created shared pool across runs; it is closed at interpreter
     exit.
+
+    ``blas_threads`` pins the BLAS/OpenMP thread count inside each worker
+    process (default 1, so the parallelism budget belongs to the workers);
+    pass ``None`` to leave the workers' inherited threading untouched, or a
+    larger count to deliberately give each worker a nested thread budget.
     """
     global _pins
     if workers is None:
@@ -278,7 +452,7 @@ def pool(workers: Optional[int] = None):
     # between them would hand this context a just-shut-down pool and let its
     # exit later tear down the replacement out from under other threads
     with _shared_lock:
-        active = _shared_pool_locked(int(workers))
+        active = _shared_pool_locked(int(workers), blas_threads)
         _pins += 1
     try:
         active.warm()

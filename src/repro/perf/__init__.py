@@ -13,25 +13,33 @@ The benchmark harness is built from three layers:
 * :mod:`repro.perf.modelruns` — evaluates the analytic device/host models at
   the paper's full data-set sizes so measured laptop-scale trends can be put
   side by side with paper-scale predictions;
-* :mod:`repro.perf.parallel` — the host-parallelism scaling suite
-  (worker-count curve, shm vs pickle dispatch, pool reuse) behind the
-  ``repro-bench`` CLI and the ``BENCH_*.json`` perf-trajectory artifacts.
+* :mod:`repro.perf.parallel` — the host-parallelism scaling suites
+  (worker-count curve, shm vs pickle dispatch, pool reuse, and the
+  executor-strategy matrix with the fused-kernel comparison) behind the
+  ``repro-bench`` CLI and the ``BENCH_*.json`` perf-trajectory artifacts;
+* :mod:`repro.perf.autotune` — the throughput microprobe that calibrates
+  executor strategy and worker count per (machine, workload shape), cached
+  in the result-cache root and surfaced as ``Session.configure(workers="auto")``.
 """
 
-from repro.perf.timer import Timer, time_callable
+from repro.perf.timer import Timer, time_callable, time_stats
 from repro.perf.sweep import SweepRecord, run_backend_sweep
 from repro.perf.metrics import speedup, time_ratio, summarize_ratio_range
 from repro.perf.reporting import format_series_table, format_figure_report
 from repro.perf.modelruns import paper_scale_prediction, predict_figure8, predict_figure9
 from repro.perf.parallel import (
+    format_executor_report,
     format_parallel_report,
+    run_executor_scaling,
     run_parallel_scaling,
     write_bench_record,
 )
+from repro.perf.autotune import TuningDecision, resolve_auto_config, run_throughput_probe, tune
 
 __all__ = [
     "Timer",
     "time_callable",
+    "time_stats",
     "SweepRecord",
     "run_backend_sweep",
     "speedup",
@@ -43,6 +51,12 @@ __all__ = [
     "predict_figure8",
     "predict_figure9",
     "run_parallel_scaling",
+    "run_executor_scaling",
     "write_bench_record",
     "format_parallel_report",
+    "format_executor_report",
+    "TuningDecision",
+    "tune",
+    "resolve_auto_config",
+    "run_throughput_probe",
 ]

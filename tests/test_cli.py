@@ -290,9 +290,10 @@ class TestCache:
 
 class TestBench:
     def test_parallel_bench_writes_artifact(self, tmp_path, capsys):
-        """repro-bench on a tiny workload emits a complete BENCH record."""
+        """repro-bench --suite dispatch on a tiny workload emits a BENCH_4 record."""
         out = tmp_path / "BENCH_smoke.json"
         code = main_bench([
+            "--suite", "dispatch",
             "--size-label", "0.3MB", "--workers", "1,2",
             "--repeats", "1", "--files", "2", "-o", str(out),
         ])
@@ -310,6 +311,28 @@ class TestBench:
         output = capsys.readouterr().out
         assert "workers" in output and f"wrote {out}" in output
 
+    def test_executor_bench_writes_artifact(self, tmp_path, capsys):
+        """The default suite is the executor matrix emitting a BENCH_6 record."""
+        out = tmp_path / "BENCH6_smoke.json"
+        code = main_bench([
+            "--size-label", "0.3MB", "--workers", "1,2",
+            "--repeats", "1", "-o", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "executor_scaling"
+        cells = {(row["executor"], row["n_workers"]) for row in record["matrix"]}
+        assert ("serial", 1) in cells and ("threads", 2) in cells
+        assert record["kernel"]["fused"]["median_s"] > 0
+        # the honesty pair: either the gate passed or the reason is recorded
+        assert record["checks"]["two_x_at_4_workers"] or record["serial_fallback_reason"]
+        output = capsys.readouterr().out
+        assert "gate:" in output and f"wrote {out}" in output
+
     def test_bench_rejects_bad_workers(self, tmp_path):
         with pytest.raises(SystemExit):
             main_bench(["--workers", "two,4", "-o", str(tmp_path / "x.json")])
+
+    def test_bench_all_rejects_single_output(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_bench(["--suite", "all", "-o", str(tmp_path / "x.json")])
