@@ -1,0 +1,226 @@
+"""Experiment E8 — the serving daemon under load: cold, warm, collapsed.
+
+Boots a real ``repro-serve`` daemon in-process (background thread, free
+port) and drives it over HTTP with the bundled client, measuring the three
+admission paths end-to-end (submit → poll → fetch result):
+
+* **cold** — distinct files, every job reconstructs on the compute
+  executor;
+* **warm** — the same files resubmitted, served from the result cache at
+  admission without touching the pool;
+* **collapsed** — N concurrent identical submissions of a fresh file,
+  which must trigger exactly one computation (single-flight).
+
+Gates: warm aggregate latency beats cold aggregate (``warm_beats_cold``,
+pooled over every sample, same policy as the cache bench) and the collapse
+burst computes once (``collapse_single_computation``).  The run emits the
+perf-trajectory artifact ``BENCH_7.json`` (override the path with
+``REPRO_BENCH_OUT``, the per-file workload with ``REPRO_SERVE_BENCH_SIZE``).
+"""
+
+import concurrent.futures
+import json
+import os
+import time
+
+import pytest
+
+from _bench_utils import SeriesCollector
+from repro.io.image_stack import save_wire_scan
+from repro.serve import ServeClient, ServeSettings, start_in_thread
+from repro.serve.metrics import merge_counter_deltas
+from repro.synthetic.workloads import make_benchmark_workload
+from repro.utils.version import package_version
+
+collector = SeriesCollector("repro-serve: end-to-end seconds per job", x_label="scenario")
+
+#: Issue number this benchmark's artifact belongs to (BENCH_<issue>.json).
+BENCH_ISSUE = 7
+
+#: Per-file workload: reconstruction must clearly dominate HTTP overhead.
+DEFAULT_SIZE_LABEL = "6MB"
+
+#: Distinct files in the cold/warm phases.
+N_FILES = 3
+
+#: Concurrent identical submissions in the collapse burst.
+N_CONCURRENT = 8
+
+
+def _size_label() -> str:
+    return os.environ.get("REPRO_SERVE_BENCH_SIZE", DEFAULT_SIZE_LABEL)
+
+
+def _submit_and_wait(client, path, workload) -> float:
+    start = time.perf_counter()
+    accepted = client.submit(path, config=workload.config_dict)
+    client.wait(accepted["job"]["id"], timeout_s=300.0)
+    return time.perf_counter() - start
+
+
+class _BenchWorkload:
+    """The scan files plus the config dict every submission reuses."""
+
+    def __init__(self, work_dir: str):
+        self.workload = make_benchmark_workload(_size_label(), pixel_fraction=0.25, seed=13)
+        from repro.core.config import ReconstructionConfig
+
+        self.config_dict = ReconstructionConfig(
+            grid=self.workload.grid, backend="vectorized"
+        ).to_dict()
+        self.paths = []
+        for index in range(N_FILES + 1):  # +1: the collapse-burst file
+            path = os.path.join(work_dir, f"scan_{index}.h5lite")
+            save_wire_scan(path, self.workload.stack)
+            stat = os.stat(path)
+            # distinct mtimes => distinct fingerprints => distinct cache keys
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + index))
+            self.paths.append(path)
+
+
+def run_serve_bench(work_dir: str) -> dict:
+    """Drive a live daemon through cold/warm/collapse; return the JSON record."""
+    bench = _BenchWorkload(work_dir)
+    settings = ServeSettings(
+        port=0, workers=2, cache=os.path.join(work_dir, "cache"), queue_depth=64
+    )
+    with start_in_thread(settings) as handle:
+        client = ServeClient(base_url=handle.base_url, client_id="bench")
+
+        # ------------------------------------------------------------ #
+        # cold: every file computes
+        cold_samples = [
+            _submit_and_wait(client, path, bench) for path in bench.paths[:N_FILES]
+        ]
+        after_cold = client.metrics()["jobs"]
+
+        # warm: identical resubmissions serve from the cache at admission
+        warm_samples = [
+            _submit_and_wait(client, path, bench) for path in bench.paths[:N_FILES]
+        ]
+        after_warm = client.metrics()["jobs"]
+        warm_deltas = merge_counter_deltas(
+            after_cold, after_warm, ("computed", "cache_hits")
+        )
+
+        # ------------------------------------------------------------ #
+        # collapse burst: N concurrent identical submissions, one computation
+        burst_path = bench.paths[N_FILES]
+        before_burst = client.metrics()["jobs"]
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(N_CONCURRENT) as pool:
+            accepted = list(pool.map(
+                lambda _: client.submit(burst_path, config=bench.config_dict),
+                range(N_CONCURRENT),
+            ))
+        for payload in accepted:
+            client.wait(payload["job"]["id"], timeout_s=300.0)
+        burst_s = time.perf_counter() - start
+        after_burst = client.metrics()["jobs"]
+        burst_deltas = merge_counter_deltas(
+            before_burst, after_burst, ("computed", "collapsed", "completed")
+        )
+        final_metrics = client.metrics()
+
+    cold_total = sum(cold_samples)
+    warm_total = sum(warm_samples)
+    checks = {
+        # pooled aggregate over every sample, not one lucky pair
+        "warm_beats_cold": warm_total < cold_total,
+        "warm_jobs_skipped_the_pool": (
+            warm_deltas["computed"] == 0 and warm_deltas["cache_hits"] == N_FILES
+        ),
+        "collapse_single_computation": (
+            burst_deltas["computed"] == 1
+            and burst_deltas["collapsed"] == N_CONCURRENT - 1
+            and burst_deltas["completed"] == N_CONCURRENT
+        ),
+    }
+    return {
+        "benchmark": "serve",
+        "issue": BENCH_ISSUE,
+        "repro_version": package_version(),
+        "created_unix": time.time(),
+        "workload": {
+            "size_label": _size_label(),
+            "shape": list(bench.workload.stack.shape),
+            "nbytes": int(bench.workload.stack.nbytes),
+            "n_depth_bins": int(bench.workload.grid.n_bins),
+        },
+        "settings": {"workers": 2, "queue_depth": 64},
+        "cold": {
+            "n_files": N_FILES,
+            "samples_s": cold_samples,
+            "total_s": cold_total,
+        },
+        "warm": {
+            "n_files": N_FILES,
+            "samples_s": warm_samples,
+            "total_s": warm_total,
+            "speedup": cold_total / warm_total if warm_total > 0 else float("inf"),
+            "counter_deltas": warm_deltas,
+        },
+        "collapse": {
+            "n_concurrent": N_CONCURRENT,
+            "burst_s": burst_s,
+            "counter_deltas": burst_deltas,
+        },
+        "final_latency": final_metrics["latency"],
+        "checks": checks,
+    }
+
+
+@pytest.fixture(scope="module")
+def serve_record(tmp_path_factory):
+    """One full harness run shared by the assertions below."""
+    record = run_serve_bench(str(tmp_path_factory.mktemp("serve_bench")))
+    for index, (cold, warm) in enumerate(
+        zip(record["cold"]["samples_s"], record["warm"]["samples_s"])
+    ):
+        collector.add(f"file#{index}", "cold", cold)
+        collector.add(f"file#{index}", "warm", warm)
+    collector.add(
+        f"burst x{record['collapse']['n_concurrent']}", "cold",
+        record["collapse"]["burst_s"],
+    )
+    path = os.environ.get("REPRO_BENCH_OUT", f"BENCH_{BENCH_ISSUE}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return record
+
+
+def test_warm_requests_beat_cold_requests(serve_record):
+    """Cache-first admission must beat recomputation end-to-end, in aggregate."""
+    warm, cold = serve_record["warm"], serve_record["cold"]
+    assert warm["total_s"] < cold["total_s"], (
+        f"serving regressed: warm {warm['total_s']:.4f}s vs cold "
+        f"{cold['total_s']:.4f}s over {cold['n_files']} file(s)"
+    )
+    assert serve_record["checks"]["warm_beats_cold"]
+
+
+def test_warm_requests_never_touch_the_pool(serve_record):
+    deltas = serve_record["warm"]["counter_deltas"]
+    assert deltas["computed"] == 0
+    assert deltas["cache_hits"] == serve_record["warm"]["n_files"]
+    assert serve_record["checks"]["warm_jobs_skipped_the_pool"]
+
+
+def test_concurrent_identical_submissions_compute_once(serve_record):
+    deltas = serve_record["collapse"]["counter_deltas"]
+    n = serve_record["collapse"]["n_concurrent"]
+    assert deltas["computed"] == 1, f"single-flight broke: {deltas}"
+    assert deltas["collapsed"] == n - 1
+    assert deltas["completed"] == n
+    assert serve_record["checks"]["collapse_single_computation"]
+
+
+def test_serve_bench_report(serve_record):
+    print(collector.report([
+        "",
+        "cold computes on the pool; warm serves the verified cache entry at",
+        "admission; the burst row is 8 concurrent identical submissions",
+        "sharing one computation (single-flight).",
+    ]))

@@ -1,0 +1,123 @@
+"""Reconstruction-as-a-service: drive a live ``repro-serve`` daemon.
+
+Run with::
+
+    python examples/serving.py
+
+What it does
+------------
+1. boots a real serving daemon in-process (background thread, free port,
+   private cache root) — the same daemon ``repro-serve`` runs standalone;
+2. submits a reconstruction job over HTTP with the bundled
+   :class:`repro.serve.ServeClient`, polls it to completion and fetches the
+   result record (provenance + analysis);
+3. resubmits the identical request and shows **cache-first admission**: the
+   job completes at admission from the result cache, never touching the
+   compute pool;
+4. fires 6 concurrent identical submissions of a fresh file and shows
+   **single-flight collapsing**: exactly one computation serves all six;
+5. reads the ``/metrics`` endpoint — queue depth, cache hit rate, collapse
+   counts, per-stage latency percentiles — and shuts the daemon down
+   gracefully (the drain the SIGTERM path uses).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import tempfile
+import time
+
+import repro
+from repro.io.image_stack import save_wire_scan
+from repro.serve import ServeClient, ServeSettings, start_in_thread
+from repro.synthetic import make_grain_sample_stack
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    value = fn()
+    print(f"  {label}: {time.perf_counter() - start:.4f}s")
+    return value
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro_serving_")
+    paths = []
+    for index in range(2):
+        stack, _source, _sample = make_grain_sample_stack(
+            n_grains=2, n_rows=12, n_cols=12, n_positions=81, seed=40 + index
+        )
+        path = os.path.join(workdir, f"scan_{index}.h5lite")
+        save_wire_scan(path, stack)
+        paths.append(path)
+
+    # ------------------------------------------------------------------ #
+    # 1. boot the daemon (port=0 picks a free port)
+    settings = ServeSettings(
+        port=0, workers=2, cache=os.path.join(workdir, "cache"), queue_depth=32
+    )
+    session = repro.session(grid=repro.DepthGrid.from_range(0.0, 120.0, 48))
+    with start_in_thread(settings) as daemon:
+        print(f"daemon listening at {daemon.base_url}")
+        client = ServeClient(base_url=daemon.base_url, client_id="example")
+
+        # -------------------------------------------------------------- #
+        # 2. submit -> poll -> fetch
+        print("\ncold submission (computes on the pool):")
+
+        def _cold():
+            accepted, result = client.submit_and_wait(
+                paths[0], session=session, analyze=["peaks", "fwhm"]
+            )
+            return accepted, result
+
+        accepted, result = _timed("submit + wait + fetch", _cold)
+        job = client.status(accepted["job"]["id"])
+        print(f"  admission: {accepted['dedup']!r}; served: {job['served']!r}")
+        ops = [record["op"] for record in result["analysis"]["provenance"]["ops"]]
+        print(f"  analysis ops computed server-side: {ops}")
+
+        # -------------------------------------------------------------- #
+        # 3. identical resubmission: cache-first admission
+        print("\nwarm resubmission (cache-first admission):")
+        accepted, _result = _timed(
+            "submit + wait + fetch",
+            lambda: client.submit_and_wait(paths[0], session=session,
+                                           analyze=["peaks", "fwhm"]),
+        )
+        job = client.status(accepted["job"]["id"])
+        print(f"  admission: {accepted['dedup']!r}; served: {job['served']!r}")
+
+        # -------------------------------------------------------------- #
+        # 4. single-flight: concurrent identical submissions compute once
+        print("\n6 concurrent identical submissions of a fresh file:")
+        before = client.metrics()["jobs"]["computed"]
+        with concurrent.futures.ThreadPoolExecutor(6) as pool:
+            payloads = list(pool.map(
+                lambda _: client.submit(paths[1], session=session), range(6)
+            ))
+        for payload in payloads:
+            client.wait(payload["job"]["id"], timeout_s=120)
+        computed = client.metrics()["jobs"]["computed"] - before
+        roles = sorted(p["dedup"] for p in payloads)
+        print(f"  admissions: {roles}")
+        print(f"  computations actually run: {computed} (single-flight)")
+
+        # -------------------------------------------------------------- #
+        # 5. the operator's view
+        metrics = client.metrics()
+        print("\n/metrics (abridged):")
+        print(json.dumps({
+            "jobs": metrics["jobs"],
+            "queue": metrics["queue"],
+            "cache": metrics["cache"],
+            "singleflight": metrics["singleflight"],
+            "latency_run_p90_s": metrics["latency"]["run"]["p90_s"],
+        }, indent=2, sort_keys=True))
+    print("\ndaemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,4 +33,17 @@ setup(
     version=read_version(),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-generate = repro.cli:main_generate",
+            "repro-reconstruct = repro.cli:main_reconstruct",
+            "repro-batch = repro.cli:main_batch",
+            "repro-backends = repro.cli:main_backends",
+            "repro-analyze = repro.cli:main_analyze",
+            "repro-cache = repro.cli:main_cache",
+            "repro-benchmark = repro.cli:main_benchmark",
+            "repro-bench = repro.cli:main_bench",
+            "repro-serve = repro.cli:main_serve",
+        ]
+    },
 )

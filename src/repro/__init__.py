@@ -82,6 +82,18 @@ from repro.core.ops import analysis, ops
 # file textually); this is a re-export, never a second definition
 from repro._version import __version__
 
+
+def __getattr__(name):
+    # repro.serve is loaded lazily: the serving daemon is optional machinery
+    # and `import repro` must stay light for library users
+    if name == "serve":
+        import importlib
+
+        module = importlib.import_module("repro.serve")
+        globals()["serve"] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 # NOTE: repro.open is public API but deliberately absent from __all__, so
 # `from repro import *` never shadows the builtin open (gzip-style).
 __all__ = [
@@ -91,6 +103,7 @@ __all__ = [
     "io",
     "synthetic",
     "utils",
+    "serve",
     "session",
     "Session",
     "Source",

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Seven small tools mirror the original workflow:
+Nine small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
@@ -30,6 +30,11 @@ Seven small tools mirror the original workflow:
     Run the host-parallelism scaling suite (worker-count curve, shm vs
     pickle dispatch, pool reuse vs cold start) and write the
     ``BENCH_<issue>.json`` perf-trajectory artifact.
+``repro-serve``
+    Run the reconstruction service: an asyncio HTTP daemon with a bounded
+    fair priority queue, cache-first admission (single-flight collapsed),
+    per-job timeouts/retries, graceful SIGTERM drain and a ``/metrics``
+    endpoint.  See the README's *Serving* section.
 
 Everything routes through the ``repro.open()`` / ``repro.session()`` front
 door, so the CLI exercises exactly the code path library users get.
@@ -60,6 +65,7 @@ __all__ = [
     "main_cache",
     "main_benchmark",
     "main_bench",
+    "main_serve",
 ]
 
 
@@ -565,6 +571,67 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
             if not all(checks.values()):
                 return 1
     return 0
+
+
+# --------------------------------------------------------------------------- #
+def main_serve(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the reconstruction-serving daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve reconstructions over HTTP: an asyncio job daemon "
+                    "with a bounded fair priority queue, cache-first admission "
+                    "(identical in-flight requests collapse onto one "
+                    "computation), per-job timeouts, graceful SIGTERM drain "
+                    "and a JSON /metrics endpoint.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="listening port (0 picks a free port)")
+    parser.add_argument("-j", "--workers", type=int, default=None,
+                        help="concurrent computations (default: CPU-derived, >= 2)")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="admission-queue capacity; beyond it submissions "
+                             "get 429 + Retry-After")
+    parser.add_argument("--job-timeout", type=float, default=300.0, metavar="SECONDS",
+                        help="default per-job wall-clock budget")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-runs granted when a worker dies mid-job")
+    parser.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="budget for finishing work after SIGTERM")
+    parser.add_argument("--retry-after", type=float, default=1.0, metavar="SECONDS",
+                        help="Retry-After floor on queue-full rejections")
+    parser.add_argument("--cache-root", default=None, metavar="ROOT",
+                        help="result-cache root (default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable cache-first admission (every job computes)")
+    args = parser.parse_args(argv)
+    configure_logging()
+
+    from repro.serve.app import ServeSettings, default_workers, run_server
+    from repro.utils.validation import ValidationError
+
+    cache: object = True
+    if args.no_cache:
+        cache = False
+    elif args.cache_root is not None:
+        cache = args.cache_root
+    try:
+        settings = ServeSettings(
+            host=args.host,
+            port=args.port,
+            workers=args.workers if args.workers is not None else default_workers(),
+            queue_depth=args.queue_depth,
+            job_timeout_s=args.job_timeout,
+            max_retries=args.retries,
+            drain_timeout_s=args.drain_timeout,
+            retry_after_s=args.retry_after,
+            cache=cache,
+        )
+    except ValidationError as exc:
+        parser.error(str(exc))
+    return run_server(settings)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -244,6 +244,28 @@ class ResultCache:
         except OSError:
             pass
 
+    @staticmethod
+    def _discard_if_unchanged(path: str, before: os.stat_result) -> None:
+        """Repair-delete *path* unless a concurrent store replaced it.
+
+        The repair path races concurrent writers: between a reader loading
+        corrupt bytes and deleting the entry, another session's ``put`` may
+        have atomically replaced it with a healthy file — which is then not
+        ours to delete.  Re-checking the file identity (inode/mtime/size)
+        immediately before the unlink shrinks the deletion window from the
+        whole load duration to microseconds; a loss in the residual window
+        costs one recompute, never a wrong result.
+        """
+        try:
+            after = os.stat(path)
+            if (after.st_ino, after.st_mtime_ns, after.st_size) != (
+                before.st_ino, before.st_mtime_ns, before.st_size
+            ):
+                return  # replaced under us: the new entry is presumed healthy
+            os.remove(path)
+        except OSError:
+            pass  # already repaired by another session, or undeletable root
+
     # ------------------------------------------------------------------ #
     # run entries
     def get(self, key: str):
@@ -259,7 +281,9 @@ class ResultCache:
         from repro.io.image_stack import load_run_payload
 
         path = self._run_path(key)
-        if not os.path.isfile(path):
+        try:
+            before = os.stat(path)
+        except OSError:
             self.n_misses += 1
             return None
         try:
@@ -281,7 +305,7 @@ class ResultCache:
             _LOG.warning(
                 "cache: repairing unusable entry %s (%s: %s)", path, type(exc).__name__, exc
             )
-            self._discard(path)
+            self._discard_if_unchanged(path, before)
             self.n_misses += 1
             self.n_repaired += 1
             return None
@@ -399,6 +423,25 @@ class ResultCache:
 
     # ------------------------------------------------------------------ #
     # administration (the repro-cache CLI surface)
+    def counters(self) -> Dict:
+        """This cache object's probe counters as one JSON-safe record.
+
+        The structured twin of the ``n_hits``/``n_misses``/... attributes:
+        long-lived consumers (the ``repro-serve`` ``/metrics`` endpoint, the
+        CLI ``stats`` block) read one dict instead of reaching into
+        attributes one by one.  ``hit_rate`` is derived over every probe this
+        object ever made (``None`` before the first probe).
+        """
+        probes = self.n_hits + self.n_misses
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "stores": self.n_stores,
+            "repaired": self.n_repaired,
+            "probes": probes,
+            "hit_rate": (self.n_hits / probes) if probes else None,
+        }
+
     def stats(self) -> Dict:
         """JSON-safe snapshot of what the cache root currently holds."""
         runs = self._entry_paths("runs")
@@ -420,12 +463,7 @@ class ResultCache:
             "total_bytes": int(sum(sizes)),
             "oldest_unix": min(mtimes) if mtimes else None,
             "newest_unix": max(mtimes) if mtimes else None,
-            "session": {
-                "hits": self.n_hits,
-                "misses": self.n_misses,
-                "stores": self.n_stores,
-                "repaired": self.n_repaired,
-            },
+            "session": self.counters(),
         }
 
     def _listed_entries(self) -> List[Tuple[float, int, str]]:

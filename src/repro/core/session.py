@@ -527,6 +527,27 @@ class Session:
         return Session(config=self.config, cache=resolve_cache(cache))
 
     # ------------------------------------------------------------------ #
+    def cache_key(self, src) -> Optional[str]:
+        """The content-addressed key a cached run of *src* would use.
+
+        ``None`` when the source cannot promise a stable identity (and so
+        bypasses the cache).  This is the admission probe of the serving
+        layer: ``repro-serve`` keys its single-flight table and cache-first
+        admission on exactly the key :meth:`run` would compute, without
+        triggering the run itself.  Fingerprinting is cheap by contract
+        (file sources never read the image cube).
+        """
+        source = open_source(src)
+        if source.is_batch:
+            raise ValidationError(
+                "Session.cache_key() takes a single source, not a batch; "
+                "batches fingerprint per item"
+            )
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            return None
+        return compute_cache_key(fingerprint, self.config)
+
     def run(
         self,
         src,

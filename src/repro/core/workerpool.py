@@ -64,6 +64,8 @@ __all__ = [
     "shutdown_shared_pool",
     "shared_thread_pool",
     "shutdown_shared_thread_pool",
+    "pools_snapshot",
+    "shutdown_all",
     "default_worker_count",
 ]
 
@@ -161,6 +163,8 @@ class WorkerPool:
         self.n_spawns = 0
         #: number of tasks ever submitted (accounting for tests/benchmarks)
         self.n_submitted = 0
+        #: tasks submitted but not yet finished (utilization snapshots)
+        self._n_active = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -204,12 +208,51 @@ class WorkerPool:
         """Submit a task, respawning the executor once if it turned out broken."""
         self.n_submitted += 1
         try:
-            return self._ensure().submit(fn, *args, **kwargs)
+            future = self._ensure().submit(fn, *args, **kwargs)
         except (BrokenExecutor, RuntimeError):
             # broken (worker died between runs) or shut down concurrently:
             # one respawn attempt, then let the error surface
             self.mark_broken()
-            return self._ensure().submit(fn, *args, **kwargs)
+            future = self._ensure().submit(fn, *args, **kwargs)
+        self._track(future)
+        return future
+
+    def _track(self, future: Future) -> None:
+        """Count *future* as active until it resolves (for :meth:`utilization`)."""
+        with self._lock:
+            self._n_active += 1
+        future.add_done_callback(self._untrack)
+
+    def _untrack(self, _future: Future) -> None:
+        with self._lock:
+            self._n_active -= 1
+
+    @property
+    def n_active(self) -> int:
+        """Tasks submitted and not yet finished."""
+        return self._n_active
+
+    def utilization(self) -> Dict:
+        """JSON-safe snapshot of pool state and load.
+
+        The structured attribute-free surface long-lived consumers (the
+        ``repro-serve`` ``/metrics`` endpoint) poll: current busy fraction
+        next to the lifetime spawn/submit counters.  ``busy`` counts tasks
+        in flight (queued or executing), so ``utilization`` can exceed 1.0
+        when the submit rate outruns the workers — exactly the saturation
+        signal a serving layer wants to expose.
+        """
+        with self._lock:
+            active = self._n_active
+        return {
+            "kind": "processes",
+            "max_workers": self.max_workers,
+            "alive": self.alive,
+            "busy": active,
+            "utilization": active / self.max_workers,
+            "n_spawns": self.n_spawns,
+            "n_submitted": self.n_submitted,
+        }
 
     def warm(self) -> "WorkerPool":
         """Fork the workers now (instead of on first real task) and return self."""
@@ -267,6 +310,8 @@ class ThreadPool:
         self.n_spawns = 0
         #: number of tasks ever submitted
         self.n_submitted = 0
+        #: tasks submitted but not yet finished (utilization snapshots)
+        self._n_active = 0
 
     @property
     def alive(self) -> bool:
@@ -291,12 +336,39 @@ class ThreadPool:
         """Submit a task, respawning the executor if it was shut down."""
         self.n_submitted += 1
         try:
-            return self._ensure().submit(fn, *args, **kwargs)
+            future = self._ensure().submit(fn, *args, **kwargs)
         except RuntimeError:
             # shut down concurrently: one respawn attempt, then surface
             with self._lock:
                 self._executor = None
-            return self._ensure().submit(fn, *args, **kwargs)
+            future = self._ensure().submit(fn, *args, **kwargs)
+        with self._lock:
+            self._n_active += 1
+        future.add_done_callback(self._untrack)
+        return future
+
+    def _untrack(self, _future: Future) -> None:
+        with self._lock:
+            self._n_active -= 1
+
+    @property
+    def n_active(self) -> int:
+        """Tasks submitted and not yet finished."""
+        return self._n_active
+
+    def utilization(self) -> Dict:
+        """JSON-safe snapshot of pool state and load (see :meth:`WorkerPool.utilization`)."""
+        with self._lock:
+            active = self._n_active
+        return {
+            "kind": "threads",
+            "max_workers": self.max_workers,
+            "alive": self.alive,
+            "busy": active,
+            "utilization": active / self.max_workers,
+            "n_spawns": self.n_spawns,
+            "n_submitted": self.n_submitted,
+        }
 
     def shutdown(self, wait: bool = True) -> None:
         """Shut the underlying executor down (the wrapper stays reusable)."""
@@ -421,6 +493,39 @@ def shutdown_shared_thread_pool() -> None:
         if _shared_threads is not None:
             _shared_threads.shutdown(wait=True)
             _shared_threads = None
+
+
+def pools_snapshot() -> Dict:
+    """Utilization of the shared pools (``None`` for one never spawned).
+
+    One structured read for monitoring surfaces — the ``repro-serve``
+    ``/metrics`` endpoint polls this instead of reaching into module
+    globals.
+    """
+    with _shared_lock:
+        process_pool = _shared
+    with _shared_threads_lock:
+        thread_pool = _shared_threads
+    return {
+        "process_pool": None if process_pool is None else process_pool.utilization(),
+        "thread_pool": None if thread_pool is None else thread_pool.utilization(),
+    }
+
+
+def shutdown_all() -> None:
+    """Tear down every shared resource: arenas first, then both pools.
+
+    Idempotent by construction — every step tolerates already-gone state —
+    because long-lived processes genuinely run it twice: the ``repro-serve``
+    daemon calls it at the end of a SIGTERM drain, and the atexit hooks
+    (registered the moment any pool or arena existed) run the same
+    teardown again at interpreter exit.  The order mirrors the atexit
+    (LIFO) order: segment names disappear first, then the pools reap their
+    workers, whose own mappings stay valid until they exit.
+    """
+    _close_open_arenas()
+    shutdown_shared_pool()
+    shutdown_shared_thread_pool()
 
 
 @contextmanager

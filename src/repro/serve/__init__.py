@@ -1,0 +1,41 @@
+"""Reconstruction-as-a-service: the ``repro-serve`` daemon and its client.
+
+Stdlib-only serving layer over the library's persistent worker pool and
+content-addressed result cache.  See :mod:`repro.serve.app` for the daemon,
+:mod:`repro.serve.client` for the bundled client, and the README's
+*Serving* section for the HTTP API.
+"""
+
+from repro.serve.app import (
+    ReproServer,
+    ServeSettings,
+    ServerHandle,
+    default_workers,
+    run_server,
+    start_in_thread,
+)
+from repro.serve.client import Backpressure, JobFailed, ServeClient, ServeError
+from repro.serve.jobs import Job, JobState, parse_submission
+from repro.serve.metrics import LatencySeries, ServeMetrics, percentile
+from repro.serve.queue import FairPriorityQueue, QueueFull
+
+__all__ = [
+    "ReproServer",
+    "ServeSettings",
+    "ServerHandle",
+    "start_in_thread",
+    "run_server",
+    "default_workers",
+    "ServeClient",
+    "ServeError",
+    "Backpressure",
+    "JobFailed",
+    "Job",
+    "JobState",
+    "parse_submission",
+    "ServeMetrics",
+    "LatencySeries",
+    "percentile",
+    "FairPriorityQueue",
+    "QueueFull",
+]

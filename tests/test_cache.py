@@ -497,3 +497,41 @@ class TestCachePlumbing:
         assert record["outputs"] == {
             "output_path": None, "text_path": None, "profile_pixels": None,
         }
+
+
+# --------------------------------------------------------------------------- #
+# structured session counters (the serve /metrics "cache" section)
+class TestCounters:
+    def test_counters_track_probe_outcomes(self, cache_root, grid, small_stack):
+        sess = repro.session(grid=grid).cached(cache_root)
+        cache = sess.cache
+        assert cache.counters() == {
+            "hits": 0, "misses": 0, "stores": 0, "repaired": 0,
+            "probes": 0, "hit_rate": None,
+        }
+        sess.run(small_stack)  # miss + store
+        counters = cache.counters()
+        assert counters["misses"] == 1 and counters["stores"] == 1
+        assert counters["hits"] == 0 and counters["hit_rate"] == 0.0
+        sess.run(small_stack)  # hit
+        counters = cache.counters()
+        assert counters["hits"] == 1 and counters["probes"] == 2
+        assert counters["hit_rate"] == 0.5
+
+    def test_counters_track_repairs(self, cache_root, grid, small_stack):
+        sess = repro.session(grid=grid).cached(cache_root)
+        sess.run(small_stack)
+        entry = glob.glob(os.path.join(cache_root, "runs", "*", "*.h5lite"))[0]
+        with open(entry, "r+b") as fh:
+            fh.write(b"garbage!")
+        sess.run(small_stack)  # repair + recompute + re-store
+        counters = sess.cache.counters()
+        assert counters["repaired"] == 1
+        assert counters["stores"] == 2
+
+    def test_stats_embeds_the_session_counters(self, cache_root, grid, small_stack):
+        sess = repro.session(grid=grid).cached(cache_root)
+        sess.run(small_stack)
+        stats = sess.cache.stats()
+        assert stats["session"] == sess.cache.counters()
+        json.dumps(stats)  # the whole stats document stays JSON-safe

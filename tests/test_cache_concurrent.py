@@ -1,0 +1,205 @@
+"""Concurrent use of one cache root under serving-style load.
+
+The serve daemon turns the result cache into shared mutable state probed
+and written from many threads (admission executor, compute executor, other
+daemons on the same host).  These tests pin the guarantees that make that
+safe:
+
+* the atomic temp-write + ``os.replace`` store means a reader concurrent
+  with any number of writers sees either a complete verified entry or a
+  miss — never a partial file;
+* the corrupt-entry repair path is race-safe: many threads discovering the
+  same broken entry all miss, and the repair (delete) tolerates the file
+  already being gone;
+* two daemons sharing one root see each other's stores (second daemon's
+  first submission is a warm hit).
+"""
+
+import glob
+import os
+import threading
+
+import pytest
+
+import repro
+from repro.core.cache import ResultCache
+from repro.core.depth_grid import DepthGrid
+from repro.io.image_stack import save_wire_scan
+from repro.serve import ServeClient, ServeSettings, start_in_thread
+from tests.helpers import make_tiny_stack
+
+
+@pytest.fixture()
+def grid():
+    return DepthGrid.from_range(0.0, 100.0, 12)
+
+
+@pytest.fixture()
+def scan_file(tmp_path):
+    path = str(tmp_path / "scan.h5lite")
+    save_wire_scan(path, make_tiny_stack(n_rows=4, n_cols=3, n_positions=15))
+    return path
+
+
+def _entry_path(cache_root):
+    entries = glob.glob(os.path.join(cache_root, "runs", "*", "*.h5lite"))
+    assert len(entries) == 1
+    return entries[0]
+
+
+def _run_threads(n, target):
+    errors = []
+
+    def _wrapped(index):
+        try:
+            target(index)
+        except Exception as exc:  # pragma: no cover - the assertion target
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_wrapped, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+# --------------------------------------------------------------------------- #
+class TestAtomicReplaceUnderLoad:
+    def test_readers_race_writers_on_one_key(self, tmp_path, grid, scan_file):
+        """Concurrent put/get on one key: every get is a verified hit or a miss."""
+        root = str(tmp_path / "cache")
+        session = repro.session(grid=grid)
+        key = session.cache_key(scan_file)
+        run = session.run(scan_file, cache=False)
+        reference = run.result.data.tobytes()
+        barrier = threading.Barrier(10)
+
+        def worker(index):
+            cache = ResultCache(root)  # own instance, shared root (daemon-style)
+            barrier.wait()
+            for _ in range(5):
+                if index % 2 == 0:
+                    cache.put(key, run)  # repeated overwrite: atomic replace
+                else:
+                    got = cache.get(key)
+                    if got is not None:  # a miss is legal before the 1st store
+                        assert got.result.data.tobytes() == reference
+
+        _run_threads(10, worker)
+        cache = ResultCache(root)
+        assert cache.stats()["n_runs"] == 1
+        assert cache.verify()["n_repaired"] == 0
+        # no temp droppings from the concurrent writers
+        leftovers = [name for name in glob.glob(os.path.join(root, "runs", "*", "*"))
+                     if not name.endswith(".h5lite")]
+        assert leftovers == []
+
+    def test_counters_survive_thread_storm(self, tmp_path, grid, scan_file):
+        """One shared ResultCache instance: counters stay coherent-ish and
+        the structured counters() view always sums (hits + misses == probes)."""
+        root = str(tmp_path / "cache")
+        session = repro.session(grid=grid)
+        key = session.cache_key(scan_file)
+        run = session.run(scan_file, cache=False)
+        cache = ResultCache(root)
+        cache.put(key, run)
+
+        def worker(_index):
+            for _ in range(10):
+                assert cache.get(key) is not None
+
+        _run_threads(8, worker)
+        counters = cache.counters()
+        assert counters["hits"] == 80
+        assert counters["misses"] == 0
+        assert counters["probes"] == counters["hits"] + counters["misses"]
+        assert counters["hit_rate"] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+class TestCorruptRepairRace:
+    def test_many_threads_repair_one_broken_entry(self, tmp_path, grid, scan_file):
+        """N threads hit the same corrupt entry at once: all miss, none raise.
+
+        The repair (unlink) races against itself across threads and cache
+        instances; losing the race (file already gone) must be silent.
+        """
+        root = str(tmp_path / "cache")
+        session = repro.session(grid=grid)
+        key = session.cache_key(scan_file)
+        run = session.run(scan_file, cache=False)
+        ResultCache(root).put(key, run)
+        with open(_entry_path(root), "r+b") as fh:
+            fh.write(b"garbage!")  # clobber the magic: entry is unreadable
+        caches = [ResultCache(root) for _ in range(8)]
+        barrier = threading.Barrier(8)
+        outcomes = [None] * 8
+
+        def worker(index):
+            barrier.wait()
+            outcomes[index] = caches[index].get(key)
+
+        _run_threads(8, worker)
+        assert all(outcome is None for outcome in outcomes)  # corrupt != served
+        assert sum(cache.n_repaired for cache in caches) >= 1
+        assert glob.glob(os.path.join(root, "runs", "*", "*.h5lite")) == []
+        # the root heals: a fresh store then hits again
+        healer = ResultCache(root)
+        healer.put(key, run)
+        assert healer.get(key) is not None
+
+    def test_repair_then_restore_race(self, tmp_path, grid, scan_file):
+        """Readers racing a writer over a corrupt entry never see bad bytes."""
+        root = str(tmp_path / "cache")
+        session = repro.session(grid=grid)
+        key = session.cache_key(scan_file)
+        run = session.run(scan_file, cache=False)
+        reference = run.result.data.tobytes()
+        writer_cache = ResultCache(root)
+        writer_cache.put(key, run)
+        with open(_entry_path(root), "r+b") as fh:
+            fh.write(b"garbage!")
+        barrier = threading.Barrier(6)
+
+        def worker(index):
+            cache = ResultCache(root)
+            barrier.wait()
+            if index == 0:
+                writer_cache.put(key, run)  # the recompute re-store
+            else:
+                for _ in range(5):
+                    got = cache.get(key)
+                    if got is not None:
+                        assert got.result.data.tobytes() == reference
+
+        _run_threads(6, worker)
+        # the usual outcome: the re-store survives the concurrent repairs
+        # (the repair re-checks file identity before unlinking).  In the
+        # residual microsecond window the entry may be gone — but the root
+        # must then be a clean miss, never a corrupt leftover.
+        final = ResultCache(root).get(key)
+        if final is None:
+            assert glob.glob(os.path.join(root, "runs", "*", "*.h5lite")) == []
+        else:
+            assert final.result.data.tobytes() == reference
+
+
+# --------------------------------------------------------------------------- #
+class TestSharedRootAcrossDaemons:
+    def test_second_daemon_warm_hits_the_first_daemons_store(
+        self, tmp_path, grid, scan_file
+    ):
+        root = str(tmp_path / "cache")
+        config = repro.session(grid=grid).config
+        with start_in_thread(ServeSettings(port=0, workers=1, cache=root)) as first:
+            ServeClient(base_url=first.base_url).submit_and_wait(
+                scan_file, config=config
+            )
+            assert ServeClient(base_url=first.base_url).metrics()["jobs"]["computed"] == 1
+        with start_in_thread(ServeSettings(port=0, workers=1, cache=root)) as second:
+            client = ServeClient(base_url=second.base_url)
+            accepted, _result = client.submit_and_wait(scan_file, config=config)
+            assert accepted["dedup"] == "hit"
+            jobs = client.metrics()["jobs"]
+            assert jobs["computed"] == 0 and jobs["cache_hits"] == 1

@@ -1,0 +1,354 @@
+"""End-to-end tests of the ``repro-serve`` daemon over real HTTP.
+
+One module-scoped daemon (fresh cache root, free port) serves most tests;
+the admission-semantics tests that need pristine counters boot their own.
+Every request goes through :class:`repro.serve.ServeClient` — the bundled
+client is part of the surface under test.
+"""
+
+import concurrent.futures
+import http.client
+import json
+import threading
+
+import pytest
+
+import repro
+from repro.core.config import ReconstructionConfig
+from repro.core.depth_grid import DepthGrid
+from repro.io.image_stack import save_wire_scan
+from repro.serve import (
+    Backpressure,
+    JobFailed,
+    ServeClient,
+    ServeError,
+    ServeSettings,
+    start_in_thread,
+)
+from tests.helpers import make_tiny_stack
+
+
+def _config() -> ReconstructionConfig:
+    return ReconstructionConfig(grid=DepthGrid.from_range(0.0, 100.0, 12))
+
+
+@pytest.fixture(scope="module")
+def scan_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-data") / "scan.h5lite"
+    save_wire_scan(str(path), make_tiny_stack(n_rows=4, n_cols=3, n_positions=15))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    settings = ServeSettings(
+        port=0, workers=2, cache=str(tmp_path_factory.mktemp("serve-cache"))
+    )
+    with start_in_thread(settings) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(daemon):
+    return ServeClient(base_url=daemon.base_url, client_id="pytest")
+
+
+def _fresh_scan(tmp_path, seed: int) -> str:
+    stack = make_tiny_stack(n_rows=4, n_cols=3, n_positions=15)
+    stack.images[0, 0, 0] += seed  # distinct bytes => distinct fingerprint
+    path = tmp_path / f"scan-{seed}.h5lite"
+    save_wire_scan(str(path), stack)
+    return str(path)
+
+
+# --------------------------------------------------------------------------- #
+class TestHttpBasics:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["version"] == repro.__version__
+
+    def test_submit_poll_fetch(self, client, scan_file):
+        accepted, result = client.submit_and_wait(scan_file, config=_config())
+        job = client.status(accepted["job"]["id"])
+        assert job["state"] == "done"
+        assert job["served"] in ("computed", "cache", "collapsed")
+        assert result["provenance"]["config"]["grid"]["n_bins"] == 12
+
+    def test_analysis_rides_along(self, client, scan_file):
+        _accepted, result = client.submit_and_wait(
+            scan_file, config=_config(), analyze=["peaks", ("fwhm", {})]
+        )
+        ops = [record["op"] for record in result["analysis"]["provenance"]["ops"]]
+        assert ops == ["peaks", "fwhm"]
+        assert len(result["analysis"]["results"]) == 2
+
+    def test_session_objects_submit_directly(self, client, scan_file):
+        session = repro.session(grid=repro.DepthGrid.from_range(0.0, 100.0, 12))
+        accepted, _result = client.submit_and_wait(scan_file, session=session)
+        assert accepted["job"]["client"] == "pytest"
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.status("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_bad_submission_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/v1/jobs", {"source": {"path": "/missing"}})
+        assert excinfo.value.status == 400
+
+    def test_bad_json_400(self, daemon):
+        conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/v1/jobs")
+        assert excinfo.value.status == 405
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/v2/everything")
+        assert excinfo.value.status == 404
+
+    def test_oversized_body_413(self, daemon):
+        conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"x" * ((1 << 20) + 1))
+            assert conn.getresponse().status == 413
+        finally:
+            conn.close()
+
+    def test_metrics_document_shape(self, client):
+        metrics = client.metrics()
+        for section in ("jobs", "queue", "cache", "singleflight", "latency", "pools"):
+            assert section in metrics
+        assert set(metrics["jobs"]) >= {"submitted", "computed", "cache_hits",
+                                        "collapsed", "rejected", "completed"}
+        assert metrics["queue"]["capacity"] == 64
+        assert metrics["draining"] is False
+        assert metrics["cache_root"]
+
+
+# --------------------------------------------------------------------------- #
+class TestAdmission:
+    """Cache-first admission and single-flight collapsing, via /metrics."""
+
+    def test_warm_resubmit_is_a_cache_hit(self, tmp_path):
+        settings = ServeSettings(port=0, workers=2, cache=str(tmp_path / "cache"))
+        with start_in_thread(settings) as handle:
+            client = ServeClient(base_url=handle.base_url)
+            scan = _fresh_scan(tmp_path, seed=1)
+            first, _ = client.submit_and_wait(scan, config=_config())
+            assert first["dedup"] == "scheduled"
+            second, result = client.submit_and_wait(scan, config=_config())
+            assert second["dedup"] == "hit"
+            assert client.status(second["job"]["id"])["served"] == "cache"
+            assert result["provenance"]["config"]["grid"]["n_bins"] == 12
+            jobs = client.metrics()["jobs"]
+            assert jobs["computed"] == 1  # the resubmit never touched the pool
+            assert jobs["cache_hits"] == 1
+            assert jobs["completed"] == 2
+
+    def test_concurrent_identical_submissions_compute_once(self, tmp_path):
+        settings = ServeSettings(port=0, workers=2, cache=str(tmp_path / "cache"))
+        with start_in_thread(settings) as handle:
+            client = ServeClient(base_url=handle.base_url)
+            scan = _fresh_scan(tmp_path, seed=2)
+            n_clients = 8
+            # hold the leader's computation until every submission is in:
+            # a tiny scan computes in milliseconds, so without the gate the
+            # leader can finish (and store to cache) before the other seven
+            # submissions arrive, turning would-be collapses into cache hits
+            gate = threading.Event()
+            server = handle.server
+            original = server._compute
+
+            def _gated(job):
+                gate.wait(timeout=30)
+                return original(job)
+
+            server._compute = _gated
+            try:
+                with concurrent.futures.ThreadPoolExecutor(n_clients) as pool:
+                    payloads = list(pool.map(
+                        lambda _: client.submit(scan, config=_config()),
+                        range(n_clients),
+                    ))
+            finally:
+                server._compute = original
+                gate.set()
+            results = [client.wait(p["job"]["id"], timeout_s=60) for p in payloads]
+            assert all(r["provenance"] for r in results)
+            dedups = sorted(p["dedup"] for p in payloads)
+            assert dedups.count("scheduled") == 1
+            assert dedups.count("collapsed") == n_clients - 1
+            metrics = client.metrics()
+            assert metrics["jobs"]["computed"] == 1
+            assert metrics["jobs"]["collapsed"] == n_clients - 1
+            assert metrics["jobs"]["completed"] == n_clients
+            assert metrics["singleflight"]["fast_path_rate"] == pytest.approx(
+                (n_clients - 1) / n_clients
+            )
+
+    def test_no_cache_daemon_still_serves(self, tmp_path):
+        settings = ServeSettings(port=0, workers=1, cache=False)
+        with start_in_thread(settings) as handle:
+            client = ServeClient(base_url=handle.base_url)
+            scan = _fresh_scan(tmp_path, seed=3)
+            for expected_computed in (1, 2):  # every submit computes
+                _accepted, _result = client.submit_and_wait(scan, config=_config())
+                assert client.metrics()["jobs"]["computed"] == expected_computed
+            assert client.metrics()["cache"] == {}
+
+
+# --------------------------------------------------------------------------- #
+class TestBackpressureAndCancel:
+    @pytest.fixture()
+    def tiny_daemon(self, tmp_path):
+        """One worker, queue depth 2, no cache: easy to saturate and inspect."""
+        settings = ServeSettings(
+            port=0, workers=1, queue_depth=2, cache=False, retry_after_s=3.0
+        )
+        with start_in_thread(settings) as handle:
+            yield handle
+
+    def _hold_the_worker(self, handle, scan):
+        """Park a long job on the single worker so the queue backs up."""
+        gate = threading.Event()
+        server = handle.server
+        original = server._compute
+
+        def _slow(job):
+            gate.wait(timeout=30)
+            return original(job)
+
+        server._compute = _slow
+        client = ServeClient(base_url=handle.base_url)
+        blocker = client.submit(scan, config=_config())["job"]["id"]
+        # the blocker must be RUNNING (not queued) before tests continue
+        deadline = threading.Event()
+        for _ in range(200):
+            if client.status(blocker)["state"] == "running":
+                break
+            deadline.wait(0.01)
+        else:  # pragma: no cover - diagnostics only
+            raise AssertionError("blocker job never started")
+        return gate, client, blocker, original
+
+    def test_full_queue_gets_429_with_retry_after(self, tiny_daemon, tmp_path):
+        scan = _fresh_scan(tmp_path, seed=4)
+        gate, client, _blocker, original = self._hold_the_worker(tiny_daemon, scan)
+        try:
+            for _ in range(2):  # fill the two queue slots
+                client.submit(scan, config=_config())
+            with pytest.raises(Backpressure) as excinfo:
+                client.submit(scan, config=_config())
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s >= 3.0
+            assert client.metrics()["jobs"]["rejected"] == 1
+        finally:
+            tiny_daemon.server._compute = original
+            gate.set()
+
+    def test_cancel_queued_then_conflict_on_terminal(self, tiny_daemon, tmp_path):
+        scan = _fresh_scan(tmp_path, seed=5)
+        gate, client, blocker, original = self._hold_the_worker(tiny_daemon, scan)
+        try:
+            queued = client.submit(scan, config=_config())["job"]["id"]
+            cancelled = client.cancel(queued)
+            assert cancelled["state"] == "cancelled"
+            # cancelling again conflicts: the job is already terminal
+            with pytest.raises(ServeError) as excinfo:
+                client.cancel(queued)
+            assert excinfo.value.status == 409
+            # fetching a cancelled job's result conflicts too
+            with pytest.raises(ServeError) as excinfo:
+                client._request("GET", f"/v1/jobs/{queued}/result")
+            assert excinfo.value.status == 409
+            assert client.metrics()["jobs"]["cancelled"] == 1
+        finally:
+            tiny_daemon.server._compute = original
+            gate.set()
+        client.wait(blocker, timeout_s=60)
+
+    def test_cancel_running_job_conflicts(self, tiny_daemon, tmp_path):
+        scan = _fresh_scan(tmp_path, seed=6)
+        gate, client, blocker, original = self._hold_the_worker(tiny_daemon, scan)
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                client.cancel(blocker)
+            assert excinfo.value.status == 409
+        finally:
+            tiny_daemon.server._compute = original
+            gate.set()
+        client.wait(blocker, timeout_s=60)
+
+    def test_result_while_pending_is_none(self, tiny_daemon, tmp_path):
+        scan = _fresh_scan(tmp_path, seed=7)
+        gate, client, blocker, original = self._hold_the_worker(tiny_daemon, scan)
+        try:
+            assert client.result(blocker) is None  # 202: still running
+        finally:
+            tiny_daemon.server._compute = original
+            gate.set()
+        assert client.result(blocker) is not None or client.wait(blocker, timeout_s=60)
+
+
+# --------------------------------------------------------------------------- #
+class TestFailurePaths:
+    def test_failed_job_reports_error(self, tmp_path):
+        """A source that fingerprints but fails to reconstruct => failed job."""
+        settings = ServeSettings(port=0, workers=1, cache=False)
+        with start_in_thread(settings) as handle:
+            client = ServeClient(base_url=handle.base_url)
+            scan = _fresh_scan(tmp_path, seed=8)
+            server = handle.server
+            original = server._compute
+
+            def _boom(job):
+                raise RuntimeError("synthetic compute failure")
+
+            server._compute = _boom
+            try:
+                job_id = client.submit(scan, config=_config())["job"]["id"]
+                with pytest.raises(JobFailed) as excinfo:
+                    client.wait(job_id, timeout_s=30)
+                assert "synthetic compute failure" in str(excinfo.value)
+                assert client.metrics()["jobs"]["failed"] == 1
+            finally:
+                server._compute = original
+
+    def test_per_job_timeout_fails_the_job(self, tmp_path):
+        settings = ServeSettings(port=0, workers=1, cache=False)
+        with start_in_thread(settings) as handle:
+            client = ServeClient(base_url=handle.base_url)
+            scan = _fresh_scan(tmp_path, seed=9)
+            server = handle.server
+            gate = threading.Event()
+            original = server._compute
+
+            def _slow(job):
+                gate.wait(timeout=30)
+                return original(job)
+
+            server._compute = _slow
+            try:
+                job_id = client.submit(
+                    scan, config=_config(), timeout_s=0.2
+                )["job"]["id"]
+                with pytest.raises(JobFailed) as excinfo:
+                    client.wait(job_id, timeout_s=30)
+                assert "timed out" in str(excinfo.value)
+                assert client.metrics()["jobs"]["timeouts"] == 1
+            finally:
+                gate.set()
+                server._compute = original

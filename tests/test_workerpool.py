@@ -18,10 +18,14 @@ import repro
 from multiprocessing import shared_memory
 from repro.core.workerpool import (
     SlabArena,
+    ThreadPool,
     WorkerPool,
     attach_slab,
     default_worker_count,
+    pools_snapshot,
     shared_pool,
+    shared_thread_pool,
+    shutdown_all,
     shutdown_shared_pool,
 )
 from repro.utils.validation import ValidationError
@@ -319,3 +323,63 @@ class TestInterpreterExitCleanup:
         names = [line for line in out.strip().splitlines() if line]
         assert names, "the shm run should have created at least one segment"
         _assert_unlinked(names)
+
+
+# --------------------------------------------------------------------------- #
+class TestUtilizationSnapshots:
+    """The structured monitoring views the serve /metrics endpoint polls."""
+
+    def test_worker_pool_utilization_shape_and_counts(self):
+        pool = WorkerPool(2)
+        snap = pool.utilization()
+        assert snap == {"kind": "processes", "max_workers": 2, "alive": False,
+                        "busy": 0, "utilization": 0.0, "n_spawns": 0,
+                        "n_submitted": 0}
+        assert [pool.submit(_square, n).result() for n in range(3)] == [0, 1, 4]
+        snap = pool.utilization()
+        assert snap["alive"] and snap["n_spawns"] == 1 and snap["n_submitted"] == 3
+        assert snap["busy"] == 0 and snap["utilization"] == 0.0  # all done
+        pool.shutdown()
+
+    def test_thread_pool_tracks_busy_jobs(self):
+        import threading as _threading
+
+        pool = ThreadPool(2)
+        gate = _threading.Event()
+        futures = [pool.submit(gate.wait, 30) for _ in range(2)]
+        for _ in range(200):  # both workers must report busy while parked
+            if pool.utilization()["busy"] == 2:
+                break
+            _threading.Event().wait(0.01)
+        snap = pool.utilization()
+        assert snap["kind"] == "threads"
+        assert snap["busy"] == 2 and snap["utilization"] == 1.0
+        gate.set()
+        assert all(f.result() for f in futures)
+        for _ in range(200):  # and idle again once the gate opens
+            if pool.utilization()["busy"] == 0:
+                break
+            _threading.Event().wait(0.01)
+        assert pool.utilization()["busy"] == 0
+        pool.shutdown()
+
+    def test_pools_snapshot_reflects_shared_pools(self):
+        assert pools_snapshot() == {"process_pool": None, "thread_pool": None}
+        shared_pool(2).submit(_square, 3).result()
+        shared_thread_pool(2).submit(_square, 4).result()
+        snapshot = pools_snapshot()
+        assert snapshot["process_pool"]["kind"] == "processes"
+        assert snapshot["process_pool"]["n_submitted"] == 1
+        assert snapshot["thread_pool"]["kind"] == "threads"
+        assert snapshot["thread_pool"]["max_workers"] == 2
+        shutdown_all()
+        assert pools_snapshot() == {"process_pool": None, "thread_pool": None}
+
+    def test_utilization_counts_failures_too(self):
+        pool = ThreadPool(1)
+        future = pool.submit(_square, "not-a-number")
+        with pytest.raises(TypeError):
+            future.result()
+        snap = pool.utilization()
+        assert snap["n_submitted"] == 1 and snap["busy"] == 0  # untracked on error
+        pool.shutdown()
