@@ -1,0 +1,252 @@
+"""Experiment E8 — the DAG analysis engine: parallel scheduling, dirty subgraphs.
+
+The cross-run engine makes two performance promises:
+
+* **parallel beats linear** — independent nodes of a run-scope graph
+  execute concurrently on the shared thread pool, so a wide graph of
+  GIL-releasing ops must beat its serial execution;
+* **dirty re-analysis is incremental** — node values are memoized per
+  ``(run key, node signature)``, so editing one node's parameters (or one
+  input file of a batch) must recompute only the dirty subgraph, proven
+  with node-level cache counters and wall time far under the cold pass.
+
+The run emits the repository's perf-trajectory artifact (``BENCH_8.json``
+by default; override the path with ``REPRO_BENCH_OUT``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import SeriesCollector
+from repro.analysisgraph import graph as build_graph
+from repro.core.cache import ResultCache
+from repro.core.ops import register_op
+from repro.core.session import session
+from repro.io.image_stack import save_wire_scan
+from repro.synthetic.workloads import make_point_source_stack
+from repro.utils.version import package_version
+
+collector = SeriesCollector("Analysis graphs: wall seconds", x_label="scenario")
+
+#: Issue number this benchmark's artifact belongs to (BENCH_<issue>.json).
+BENCH_ISSUE = 8
+
+#: Files in the batch scenarios (one is dirtied).
+N_FILES = 4
+
+#: Sleep of the simulated heavyweight per-run op (seconds).
+HEAVY_S = 0.05
+
+#: Width and per-node sleep of the run-scope parallel graph.
+WIDE_NODES = 4
+WIDE_NODE_S = 0.08
+
+
+@register_op("bench_heavy", description="bench: sleepy per-run op (GIL released)", replace=True)
+def bench_heavy(result, nap: float = HEAVY_S):
+    time.sleep(float(nap))  # sleep releases the GIL like NumPy kernels do
+    return float(np.asarray(result.data).sum())
+
+
+def _wide_graph():
+    """WIDE_NODES independent sleepy nodes — maximal parallel width."""
+    return build_graph(*[
+        {"name": f"lane_{index}", "op": "bench_heavy", "params": {"nap": WIDE_NODE_S}}
+        for index in range(WIDE_NODES)
+    ])
+
+
+def _science_graph(radius_fraction: float = 1.0):
+    """The batch-scope shape: two per-run nodes feeding two reduces."""
+    return build_graph(
+        {"name": "heavy", "op": "bench_heavy"},
+        {"name": "tot", "op": "aperture_total",
+         "params": {"radius_fraction": radius_fraction}},
+        {"name": "est", "op": "integrated_estimate", "inputs": ["heavy"]},
+        {"name": "stats", "op": "sample_stats", "inputs": ["tot"]},
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run_analysis_graph_bench(work_dir: str) -> dict:
+    """Measure both promises; return the BENCH_8 JSON record."""
+    stack, _source = make_point_source_stack(
+        depth=40.0, n_rows=8, n_cols=8, n_positions=61
+    )
+    cache = ResultCache(os.path.join(work_dir, "cache"))
+    from repro.core.depth_grid import DepthGrid
+
+    grid = DepthGrid.from_range(0.0, 100.0, 25)
+    sess = session(grid=grid).cached(cache)
+
+    paths = []
+    for index in range(N_FILES):
+        path = os.path.join(work_dir, f"scan_{index}.h5lite")
+        save_wire_scan(path, stack)
+        stat = os.stat(path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + index))
+        paths.append(path)
+
+    # ---------------------------------------------------------------- #
+    # parallel vs linear: a wide run-scope graph on an uncached run
+    # (no memoization, so both sides execute every node)
+    wide = _wide_graph()
+    run = session(grid=grid).run(paths[0])
+    _, serial_s = _timed(lambda: wide.apply(run, executor="serial"))
+    outcome, threads_s = _timed(lambda: wide.apply(run, executor="threads"))
+    assert outcome.execution["executor"] == "threads"
+
+    # ---------------------------------------------------------------- #
+    # memoized batch re-analysis (serial executor on every side so the
+    # comparison is computation count, not thread-pool luck)
+    science = _science_graph()
+    batch = sess.run_many(paths)
+
+    cold, cold_s = _timed(lambda: batch.analyze(science, executor="serial"))
+    warm, warm_s = _timed(lambda: batch.analyze(science, executor="serial"))
+
+    # dirty parameters: shrink the aperture — 'tot' and its reduce are the
+    # dirty subgraph, 'heavy' (the expensive node) and its reduce stay memoized
+    dirty_graph = _science_graph(radius_fraction=0.5)
+    dirty_param, dirty_param_s = _timed(
+        lambda: batch.analyze(dirty_graph, executor="serial")
+    )
+
+    # dirty file: touch one input — only that file's per-run nodes (plus the
+    # reduces, whose batch key changed) recompute
+    changed = paths[-1]
+    stat = os.stat(changed)
+    os.utime(changed, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    rebatch = sess.run_many(paths)
+    dirty_file, dirty_file_s = _timed(
+        lambda: rebatch.analyze(science, executor="serial")
+    )
+
+    n_run_nodes = 2  # heavy + tot
+    n_reduces = 2    # est + stats
+    checks = {
+        "parallel_beats_serial": threads_s < 0.75 * serial_s,
+        "warm_is_all_memo_hits": (
+            warm.execution["n_computed"] == 0
+            and warm.execution["n_memo_hits"] == N_FILES * n_run_nodes + n_reduces
+        ),
+        # node-level counters: the dirty subgraph and nothing else
+        "dirty_param_recomputes_only_subgraph": (
+            dirty_param.execution["n_computed"] == N_FILES + 1
+            and dirty_param.execution["n_memo_hits"] == N_FILES + 1
+        ),
+        "dirty_file_recomputes_only_that_file": (
+            dirty_file.execution["n_computed"] == n_run_nodes + n_reduces
+            and dirty_file.execution["n_memo_hits"] == (N_FILES - 1) * n_run_nodes
+        ),
+        "dirty_param_much_less_than_cold": dirty_param_s < 0.6 * cold_s,
+        "dirty_file_much_less_than_cold": dirty_file_s < 0.6 * cold_s,
+    }
+    return {
+        "benchmark": "analysis_graph",
+        "issue": BENCH_ISSUE,
+        "repro_version": package_version(),
+        "created_unix": time.time(),
+        "workload": {
+            "n_files": N_FILES,
+            "stack_shape": list(stack.images.shape),
+            "heavy_op_s": HEAVY_S,
+            "wide_nodes": WIDE_NODES,
+            "wide_node_s": WIDE_NODE_S,
+        },
+        "run_scope": {
+            "serial_s": serial_s,
+            "threads_s": threads_s,
+            "speedup": serial_s / threads_s if threads_s > 0 else float("inf"),
+            "n_workers": outcome.execution["n_workers"],
+        },
+        "batch_scope": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "dirty_param_s": dirty_param_s,
+            "dirty_file_s": dirty_file_s,
+            "cold": dict(cold.execution),
+            "warm": dict(warm.execution),
+            "dirty_param": dict(dirty_param.execution),
+            "dirty_file": dict(dirty_file.execution),
+        },
+        "checks": checks,
+    }
+
+
+@pytest.fixture(scope="module")
+def graph_record(tmp_path_factory):
+    """One full harness run shared by the assertions below."""
+    record = run_analysis_graph_bench(str(tmp_path_factory.mktemp("graph_bench")))
+    run_scope = record["run_scope"]
+    collector.add("wide graph", "serial", run_scope["serial_s"])
+    collector.add("wide graph", "threads", run_scope["threads_s"])
+    batch = record["batch_scope"]
+    collector.add("batch analyze", "cold", batch["cold_s"])
+    collector.add("batch analyze", "warm", batch["warm_s"])
+    collector.add("batch analyze", "dirty-param", batch["dirty_param_s"])
+    collector.add("batch analyze", "dirty-file", batch["dirty_file_s"])
+    path = os.environ.get("REPRO_BENCH_OUT", f"BENCH_{BENCH_ISSUE}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return record
+
+
+def test_parallel_execution_beats_serial(graph_record):
+    """Independent nodes must genuinely overlap on the thread pool."""
+    run_scope = graph_record["run_scope"]
+    assert run_scope["threads_s"] < 0.75 * run_scope["serial_s"], (
+        f"parallel scheduling regressed: threads {run_scope['threads_s']:.4f}s vs "
+        f"serial {run_scope['serial_s']:.4f}s over {WIDE_NODES} independent nodes"
+    )
+    assert graph_record["checks"]["parallel_beats_serial"]
+
+
+def test_warm_reanalysis_is_fully_memoized(graph_record):
+    warm = graph_record["batch_scope"]["warm"]
+    assert warm["n_computed"] == 0
+    assert graph_record["checks"]["warm_is_all_memo_hits"]
+
+
+def test_dirty_param_recomputes_only_the_subgraph(graph_record):
+    """The node-level counters must show exactly the dirty subgraph."""
+    dirty = graph_record["batch_scope"]["dirty_param"]
+    assert dirty["n_computed"] == N_FILES + 1, dirty
+    assert dirty["n_memo_hits"] == N_FILES + 1, dirty
+    assert graph_record["checks"]["dirty_param_recomputes_only_subgraph"]
+
+
+def test_dirty_file_recomputes_only_that_file(graph_record):
+    dirty = graph_record["batch_scope"]["dirty_file"]
+    assert dirty["n_computed"] == 4, dirty  # 2 run nodes + 2 reduces
+    assert dirty["n_memo_hits"] == (N_FILES - 1) * 2, dirty
+    assert graph_record["checks"]["dirty_file_recomputes_only_that_file"]
+
+
+def test_dirty_reanalysis_much_cheaper_than_cold(graph_record):
+    batch = graph_record["batch_scope"]
+    assert batch["dirty_param_s"] < 0.6 * batch["cold_s"], batch
+    assert batch["dirty_file_s"] < 0.6 * batch["cold_s"], batch
+    assert graph_record["checks"]["dirty_param_much_less_than_cold"]
+    assert graph_record["checks"]["dirty_file_much_less_than_cold"]
+
+
+def test_analysis_graph_report(graph_record):
+    print(collector.report([
+        "",
+        "wide graph: 4 independent 0.08s nodes, serial vs shared thread pool;",
+        "batch analyze: cold computes every node, warm is all memo hits,",
+        "dirty-param re-runs one node per file + one reduce, dirty-file",
+        "re-runs one file's subgraph + the reduces.",
+    ]))

@@ -1,0 +1,140 @@
+"""Cross-run analysis: DAG pipelines, reduce ops, memoized re-analysis.
+
+Run with::
+
+    python examples/cross_run_science.py
+
+What it does
+------------
+1. generates a small *sample* of synthetic wire-scan data sets with a
+   planted power-law relation between the two detector halves;
+2. reconstructs them all with ``Session.run_many`` against a private
+   result cache;
+3. runs a **DAG analysis graph** over the whole batch in one call:
+   per-run nodes (``aperture_total``, ``zernike_moments`` and two custom
+   registered ops) fan out over the items, then **reduce ops**
+   (``scaling_fit``, ``integrated_estimate``, ``sample_stats``) consume
+   the collected per-run outputs and recover the planted slope;
+4. re-runs the same analysis and shows full memoization (every node is a
+   memo hit), then changes one node's parameters and shows that only the
+   dirty subgraph recomputes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.core.ops import register_op
+from repro.io.image_stack import save_wire_scan
+from repro.synthetic.workloads import make_point_source_stack
+
+PLANTED_SLOPE = 1.6
+N_RUNS = 40
+
+
+@register_op("left_total", description="integrated total of the left detector half")
+def left_total(result):
+    image = np.asarray(result.data, dtype=np.float64).sum(axis=0)
+    return float(image[:, : image.shape[1] // 2].sum())
+
+
+@register_op("right_total", description="integrated total of the right detector half")
+def right_total(result):
+    image = np.asarray(result.data, dtype=np.float64).sum(axis=0)
+    return float(image[:, image.shape[1] // 2:].sum())
+
+
+def make_sample(root: str) -> list:
+    """Wire-scan files whose halves follow ``right = 0.7 * left ** 1.6``."""
+    base, _source = make_point_source_stack(
+        depth=40.0, n_rows=8, n_cols=8, n_positions=61
+    )
+    split = base.images.shape[2] // 2
+    paths = []
+    for index, x in enumerate(np.logspace(0.0, 1.5, N_RUNS)):
+        images = base.images.copy()
+        images[:, :, :split] *= x
+        images[:, :, split:] *= 0.7 * x ** PLANTED_SLOPE
+        path = f"{root}/run_{index:02d}.h5lite"
+        save_wire_scan(path, dataclasses.replace(base, images=images))
+        paths.append(path)
+    return paths
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro_cross_run_")
+    paths = make_sample(workdir)
+    print(f"sample: {len(paths)} synthetic wire scans in {workdir}")
+
+    science = repro.graph(
+        {"name": "x", "op": "left_total"},
+        {"name": "y", "op": "right_total"},
+        {"name": "tot", "op": "aperture_total"},
+        {"name": "morph", "op": "zernike_moments", "params": {"n_max": 2}},
+        {"name": "fit", "op": "scaling_fit", "inputs": ["x", "y"]},
+        {"name": "est", "op": "integrated_estimate", "inputs": ["tot"],
+         "params": {"key": "total"}},
+        {"name": "stats", "op": "sample_stats", "inputs": ["tot"],
+         "params": {"key": "total"}},
+    )
+    print("\nthe analysis graph:")
+    print(science.describe())
+
+    sess = repro.session(
+        grid=repro.DepthGrid.from_range(0.0, 100.0, 30)
+    ).cached(f"{workdir}/cache")
+
+    start = time.perf_counter()
+    batch = sess.run_many(paths, analyze=science)
+    print(f"\nreconstructed + analysed {batch.n_ok} runs "
+          f"in {time.perf_counter() - start:.2f}s")
+
+    fit = batch.analysis["fit"]
+    print(f"planted slope {PLANTED_SLOPE} -> recovered "
+          f"{fit['slope']:.6f} (r^2 = {fit['r_squared']:.6f}, "
+          f"scatter = {fit['scatter_dex']:.2e} dex)")
+    est = batch.analysis["est"]
+    print(f"integrated estimate: n={est['n']} total={est['total']:.1f} "
+          f"median={est['median']:.1f}")
+    stats = batch.analysis["stats"]
+    print(f"sample stats: IQR={stats['iqr']:.1f}, "
+          f"{stats['n_outliers']} outlier(s)")
+
+    # --- warm re-analysis: every node value is served from the memo store
+    warm = sess.run_many(paths, analyze=science)
+    execution = warm.analysis.execution
+    print(f"\nwarm re-analysis: {execution['n_memo_hits']} memo hit(s), "
+          f"{execution['n_computed']} computed "
+          f"in {execution['wall_time']:.3f}s")
+
+    # --- dirty subgraph: shrink the aperture; only 'tot' and the reduces
+    # that depend on it recompute, the fit chain stays fully memoized
+    narrower = repro.graph(
+        {"name": "x", "op": "left_total"},
+        {"name": "y", "op": "right_total"},
+        {"name": "tot", "op": "aperture_total",
+         "params": {"radius_fraction": 0.5}},
+        {"name": "morph", "op": "zernike_moments", "params": {"n_max": 2}},
+        {"name": "fit", "op": "scaling_fit", "inputs": ["x", "y"]},
+        {"name": "est", "op": "integrated_estimate", "inputs": ["tot"],
+         "params": {"key": "total"}},
+        {"name": "stats", "op": "sample_stats", "inputs": ["tot"],
+         "params": {"key": "total"}},
+    )
+    dirty = sess.run_many(paths, analyze=narrower)
+    execution = dirty.analysis.execution
+    print(f"dirty subgraph (aperture changed): "
+          f"{execution['n_memo_hits']} memo hit(s), "
+          f"{execution['n_computed']} computed — only the aperture chain "
+          f"re-ran")
+    print(f"narrower aperture total: "
+          f"{dirty.analysis['est']['total']:.1f}")
+
+
+if __name__ == "__main__":
+    main()

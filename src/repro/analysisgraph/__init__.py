@@ -1,0 +1,48 @@
+"""Cross-run analysis graphs: DAG pipelines, reduce ops, memoized execution.
+
+The batch-level generalization of :mod:`repro.core.ops`: analyses become a
+DAG of named nodes (:func:`repro.graph`) mixing per-run ops with **reduce
+ops** that consume a whole batch — independent nodes execute concurrently on
+the shared thread pool, and every node's value is memoized per
+``(run key, node signature)`` so only dirty subgraphs recompute.
+
+Importing this package registers the cross-run science ops
+(``aperture_total``, ``zernike_moments``, ``integrated_estimate``,
+``scaling_fit``, ``sample_stats``) in the one op registry.
+"""
+
+from repro.analysisgraph.graph import (  # noqa: F401
+    RESERVED_INPUTS,
+    AnalysisGraph,
+    NodeSpec,
+    as_graph,
+    compile_linear,
+    graph,
+)
+from repro.analysisgraph.execute import (  # noqa: F401
+    GraphExecutionError,
+    execute_batch_graph,
+    execute_run_graph,
+)
+from repro.analysisgraph.results import (  # noqa: F401
+    GraphAnalysisResult,
+    GraphBatchItem,
+    GraphBatchResult,
+)
+from repro.analysisgraph import science_ops  # noqa: F401  (registers the ops)
+from repro.analysisgraph import zernike  # noqa: F401
+
+__all__ = [
+    "RESERVED_INPUTS",
+    "NodeSpec",
+    "AnalysisGraph",
+    "graph",
+    "compile_linear",
+    "as_graph",
+    "GraphExecutionError",
+    "execute_run_graph",
+    "execute_batch_graph",
+    "GraphAnalysisResult",
+    "GraphBatchItem",
+    "GraphBatchResult",
+]

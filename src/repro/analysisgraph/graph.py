@@ -1,0 +1,556 @@
+"""The analysis DAG: named nodes, declared inputs, build-time validation.
+
+A graph generalizes the linear :class:`~repro.core.ops.AnalysisPipeline`
+chain into a DAG of **named nodes**.  Each node applies one registered op to
+declared inputs::
+
+    import repro
+
+    graph = repro.graph(
+        {"name": "profile", "op": "integrated_profile"},
+        {"name": "peaks", "op": "peaks", "inputs": ["stack"]},
+        {"name": "moments", "op": "zernike_moments", "params": {"n_max": 4}},
+        {"name": "fit", "op": "scaling_fit",
+         "inputs": ["aperture", "brightness"]},        # a reduce node
+    )
+
+Inputs name either another node or one of the two **reserved sources**:
+
+* ``"stack"`` — the per-run depth-resolved stack (per-run ops only);
+* ``"batch"`` — the whole :class:`~repro.core.session.BatchRunResult`
+  (reduce ops only).
+
+A reduce node naming a *per-run* node as an input receives that node's
+outputs **collected across the batch** (one list entry per successful item).
+
+Everything is validated when the graph is built — unknown ops and unknown
+input references fail with did-you-mean suggestions, arity is checked
+against the op's signature, cycles are rejected with the offending nodes
+named — long before any data is touched, keeping the fail-fast idiom of
+:mod:`repro.core.ops`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ops import AnalysisPipeline, OpInfo, op_info
+from repro.io.h5lite import H5LiteError, json_normalize
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "RESERVED_INPUTS",
+    "NodeSpec",
+    "AnalysisGraph",
+    "graph",
+    "compile_linear",
+    "as_graph",
+]
+
+#: Input names with built-in meaning: the per-run stack and the whole batch.
+RESERVED_INPUTS = ("stack", "batch")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One named node: an op, its data inputs and bound parameters (immutable).
+
+    ``after`` lists ordering-only edges — nodes that must complete first even
+    though their values are not consumed.  Ordering edges participate in
+    cycle detection and scheduling but not in node signatures (they cannot
+    change a value, so they must not invalidate memos).
+    """
+
+    name: str
+    op: str
+    inputs: Tuple[str, ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
+    after: Tuple[str, ...] = ()
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The bound parameters as a plain dict."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record of this node (the graph's provenance unit)."""
+        return {
+            "name": self.name,
+            "op": self.op,
+            "inputs": list(self.inputs),
+            "params": self.params_dict,
+            "after": list(self.after),
+        }
+
+    def describe(self) -> str:
+        """Short ``name = op(inputs, param=value)`` rendering."""
+        parts = list(self.inputs)
+        parts.extend(f"{key}={value!r}" for key, value in self.params)
+        return f"{self.name} = {self.op}({', '.join(parts)})"
+
+
+class AnalysisGraph:
+    """An immutable, validated DAG of named analysis nodes.
+
+    Build with :func:`repro.graph` and apply with :meth:`apply` to a
+    :class:`~repro.core.session.RunResult`, a bare stack, a saved run file
+    (run-scope: per-run nodes only) or a
+    :class:`~repro.core.session.BatchRunResult` (batch-scope: per-run nodes
+    fan out over the items, reduce nodes consume the collected outputs).
+
+    Independent nodes execute concurrently on the shared thread pool, and
+    when the target came through a :class:`~repro.core.cache.ResultCache`
+    every node's value is memoized per ``(run key, node signature)`` — a
+    change to one node's parameters recomputes only the dirty subgraph
+    downstream of it.
+    """
+
+    __slots__ = ("_nodes", "_by_name", "_topo", "_signatures")
+
+    def __init__(self, nodes):
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValidationError(
+                "empty analysis graph; add nodes with repro.graph({'name': ..., 'op': ...})"
+            )
+        seen: Dict[str, NodeSpec] = {}
+        for node in nodes:
+            if not isinstance(node, NodeSpec):
+                raise ValidationError(
+                    f"analysis graphs are built from NodeSpec entries, got {type(node).__name__}; "
+                    "use repro.graph(...) to build from plain dict specs"
+                )
+            if not node.name or not isinstance(node.name, str):
+                raise ValidationError("every graph node needs a non-empty string name")
+            if node.name in RESERVED_INPUTS:
+                raise ValidationError(
+                    f"node name {node.name!r} is reserved (it names a built-in input source); "
+                    "pick another name"
+                )
+            if node.name in seen:
+                raise ValidationError(
+                    f"duplicate node name {node.name!r}; node names must be unique "
+                    "(they key inputs, results and memo entries)"
+                )
+            seen[node.name] = node
+        self._nodes = nodes
+        self._by_name = seen
+        for node in nodes:
+            self._validate_node(node)
+        self._topo = self._toposort()
+        self._signatures: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # validation
+    def _validate_node(self, node: NodeSpec) -> None:
+        info = op_info(node.op)  # unknown ops fail here with did-you-mean
+        if len(node.inputs) != info.n_inputs:
+            raise ValidationError(
+                f"node {node.name!r}: op {node.op!r} takes {info.n_inputs} data "
+                f"input(s), got {len(node.inputs)} ({list(node.inputs)})"
+            )
+        for ref in node.inputs:
+            self._validate_input_ref(node, info, ref)
+        for ref in node.after:
+            self._validate_after_ref(node, info, ref)
+        placeholders = [None] * info.n_inputs
+        try:
+            inspect.signature(info.func).bind(*placeholders, **node.params_dict)
+        except TypeError as exc:
+            raise ValidationError(
+                f"node {node.name!r}: op {node.op!r} rejects parameters "
+                f"{sorted(node.params_dict)}: {exc}"
+            ) from None
+
+    def _validate_input_ref(self, node: NodeSpec, info: OpInfo, ref: str) -> None:
+        if ref == node.name:
+            raise ValidationError(f"node {node.name!r} lists itself as an input")
+        if ref == "stack":
+            if info.kind != "run":
+                raise ValidationError(
+                    f"node {node.name!r}: reduce op {node.op!r} cannot consume "
+                    "'stack' (there is no single stack at batch scope); feed it "
+                    "'batch' or a per-run node's collected outputs"
+                )
+            return
+        if ref == "batch":
+            if info.kind != "reduce":
+                raise ValidationError(
+                    f"node {node.name!r}: per-run op {node.op!r} cannot consume "
+                    "'batch' (it runs once per item); only reduce ops see the "
+                    "whole batch"
+                )
+            return
+        upstream = self._by_name.get(ref)
+        if upstream is None:
+            self._unknown_reference(node, ref, role="input")
+        if info.kind == "run" and op_info(upstream.op).kind == "reduce":
+            raise ValidationError(
+                f"node {node.name!r}: per-run op {node.op!r} cannot consume reduce "
+                f"node {ref!r} — reduce values exist at batch scope, after every "
+                "per-run node finished"
+            )
+
+    def _validate_after_ref(self, node: NodeSpec, info: OpInfo, ref: str) -> None:
+        if ref == node.name:
+            raise ValidationError(f"node {node.name!r} lists itself in 'after'")
+        if ref in RESERVED_INPUTS:
+            raise ValidationError(
+                f"node {node.name!r}: 'after' orders against other nodes, not the "
+                f"built-in source {ref!r}"
+            )
+        upstream = self._by_name.get(ref)
+        if upstream is None:
+            self._unknown_reference(node, ref, role="'after'")
+        if info.kind == "run" and op_info(upstream.op).kind == "reduce":
+            raise ValidationError(
+                f"node {node.name!r}: per-run node cannot run after reduce node "
+                f"{ref!r} — reduce nodes execute once the per-run phase is complete"
+            )
+
+    def _unknown_reference(self, node: NodeSpec, ref: str, role: str) -> None:
+        known = sorted(self._by_name) + list(RESERVED_INPUTS)
+        message = (
+            f"node {node.name!r} references unknown {role} {ref!r}; "
+            f"known nodes: {sorted(self._by_name)}, built-in sources: "
+            f"{list(RESERVED_INPUTS)}"
+        )
+        close = difflib.get_close_matches(str(ref), known, n=1)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise ValidationError(message)
+
+    def _dependencies(self, node: NodeSpec) -> List[str]:
+        """Node names *node* waits on (value inputs plus ordering edges)."""
+        deps = [ref for ref in node.inputs if ref not in RESERVED_INPUTS]
+        deps.extend(ref for ref in node.after if ref not in deps)
+        return deps
+
+    def _toposort(self) -> Tuple[str, ...]:
+        """Kahn's algorithm, deterministic: ready nodes run in spec order."""
+        remaining = {node.name: set(self._dependencies(node)) for node in self._nodes}
+        order: List[str] = []
+        while remaining:
+            ready = [node.name for node in self._nodes
+                     if node.name in remaining and not remaining[node.name]]
+            if not ready:
+                cycle = sorted(remaining)
+                raise ValidationError(
+                    f"analysis graph has a cycle involving nodes {cycle}; "
+                    "dependencies must form a DAG"
+                )
+            for name in ready:
+                del remaining[name]
+                order.append(name)
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return tuple(order)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    @property
+    def nodes(self) -> Tuple[NodeSpec, ...]:
+        """The graph's nodes, in spec order."""
+        return self._nodes
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up a node by name, failing fast with a suggestion."""
+        try:
+            return self._by_name[str(name)]
+        except KeyError:
+            known = sorted(self._by_name)
+            message = f"unknown graph node {name!r}; nodes: {known}"
+            close = difflib.get_close_matches(str(name), known, n=1)
+            if close:
+                message += f" — did you mean {close[0]!r}?"
+            raise ValidationError(message) from None
+
+    def node_kind(self, name: str) -> str:
+        """``"run"`` or ``"reduce"`` for the named node."""
+        return op_info(self.node(name).op).kind
+
+    def run_nodes(self) -> List[NodeSpec]:
+        """The per-run nodes, in spec order."""
+        return [node for node in self._nodes if op_info(node.op).kind == "run"]
+
+    def reduce_nodes(self) -> List[NodeSpec]:
+        """The reduce nodes, in spec order."""
+        return [node for node in self._nodes if op_info(node.op).kind == "reduce"]
+
+    @property
+    def has_reduce(self) -> bool:
+        """Whether any node is a batch-level reduce."""
+        return any(op_info(node.op).kind == "reduce" for node in self._nodes)
+
+    def topo_order(self) -> Tuple[str, ...]:
+        """Node names in a deterministic topological order."""
+        return self._topo
+
+    def waves(self) -> List[List[str]]:
+        """Nodes grouped by dependency depth (each wave is independent).
+
+        Wave *k* holds every node whose longest dependency chain has length
+        *k* — the scheduler's upper bound on concurrency is the widest wave.
+        """
+        depth: Dict[str, int] = {}
+        for name in self._topo:
+            deps = self._dependencies(self._by_name[name])
+            depth[name] = 1 + max((depth[d] for d in deps), default=-1)
+        out: List[List[str]] = [[] for _ in range(max(depth.values()) + 1)]
+        for node in self._nodes:
+            out[depth[node.name]].append(node.name)
+        return out
+
+    def to_spec(self) -> List[Dict]:
+        """JSON-safe node list (the graph's provenance contribution)."""
+        return [node.to_dict() for node in self._nodes]
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-node rendering, in spec order."""
+        return "\n".join(node.describe() for node in self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(node.name for node in self._nodes)
+        return f"AnalysisGraph({names})"
+
+    # ------------------------------------------------------------------ #
+    # signatures (memoization keys)
+    def node_signature(self, name: str) -> str:
+        """Stable SHA-256 over the node's *value-relevant* ancestor closure.
+
+        Covers the node's op, parameters and (recursively) everything its
+        value inputs cover — so changing an upstream parameter dirties every
+        descendant, while ordering-only ``after`` edges and unrelated
+        branches leave the signature (and therefore the memo entries)
+        untouched.
+        """
+        cached = self._signatures.get(name)
+        if cached is not None:
+            return cached
+        node = self.node(name)
+        payload = {
+            "op": node.op,
+            "params": node.params_dict,
+            "inputs": [
+                ref if ref in RESERVED_INPUTS else self.node_signature(ref)
+                for ref in node.inputs
+            ],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        signature = hashlib.sha256(canonical).hexdigest()
+        self._signatures[name] = signature
+        return signature
+
+    def signature(self) -> str:
+        """Stable SHA-256 of the whole graph (nodes, wiring and parameters)."""
+        canonical = json.dumps(
+            self.to_spec(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # execution (delegated to repro.analysisgraph.execute)
+    def apply(self, target, *, cache=None, executor: str = "auto",
+              max_workers: Optional[int] = None):
+        """Execute the graph on *target* and return the outcome.
+
+        Run scope (a :class:`~repro.core.session.RunResult`, a bare
+        :class:`~repro.core.result.DepthResolvedStack` or a saved run file)
+        returns a :class:`~repro.analysisgraph.results.GraphAnalysisResult`
+        and requires a reduce-free graph.  Batch scope (a
+        :class:`~repro.core.session.BatchRunResult`) returns a
+        :class:`~repro.analysisgraph.results.GraphBatchResult` with per-item
+        error capture.
+
+        ``executor`` selects ``"serial"``, ``"threads"`` or ``"auto"``
+        (threads when the graph — or the batch — offers any concurrency);
+        ``cache`` overrides the memoization cache (defaults to the cache the
+        target's runs are bound to).
+        """
+        from repro.analysisgraph.execute import execute_batch_graph, execute_run_graph
+        from repro.core.session import BatchRunResult, RunResult
+
+        if isinstance(target, BatchRunResult):
+            return execute_batch_graph(
+                self, target, cache=cache, executor=executor, max_workers=max_workers
+            )
+        if self.has_reduce:
+            reduce_names = [node.name for node in self.reduce_nodes()]
+            raise ValidationError(
+                f"graph has reduce node(s) {reduce_names} which need a whole "
+                f"batch; apply it to a BatchRunResult, got {type(target).__name__}"
+            )
+        if isinstance(target, RunResult):
+            return execute_run_graph(
+                self, target.result, run=target.provenance(), run_result=target,
+                cache=cache, executor=executor, max_workers=max_workers,
+            )
+        from repro.core.result import DepthResolvedStack
+
+        if isinstance(target, DepthResolvedStack):
+            return execute_run_graph(
+                self, target, run=None, run_result=None,
+                cache=cache, executor=executor, max_workers=max_workers,
+            )
+        import os
+
+        if isinstance(target, (str, os.PathLike)):
+            from repro.io.image_stack import load_run_payload
+
+            stack, record = load_run_payload(target)
+            if record is not None:
+                record = {key: value for key, value in record.items() if key != "report"}
+            return execute_run_graph(
+                self, stack, run=record, run_result=None,
+                cache=cache, executor=executor, max_workers=max_workers,
+            )
+        raise ValidationError(
+            "analysis graphs apply to a RunResult, a DepthResolvedStack, a "
+            f"BatchRunResult or a saved run file path, got {type(target).__name__}"
+        )
+
+    def execute_chain(self, stack) -> List[object]:
+        """Serial execution on a bare stack; values in spec order, raw errors.
+
+        The compiled-linear path: :class:`~repro.core.ops.AnalysisPipeline`
+        routes through here, so it must match the historical chain semantics
+        exactly — strict spec order, no memoization, exceptions propagating
+        unwrapped.
+        """
+        from repro.analysisgraph.execute import execute_chain
+
+        return execute_chain(self, stack)
+
+
+# --------------------------------------------------------------------------- #
+# factories
+def _build_node(spec) -> NodeSpec:
+    """One :class:`NodeSpec` from a user-facing spec (dict, name or pair)."""
+    if isinstance(spec, NodeSpec):
+        return spec
+    if isinstance(spec, str):
+        spec = {"op": spec}
+    elif isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[1], dict):
+        spec = {"op": str(spec[0]), "params": spec[1]}
+    if not (isinstance(spec, dict) and "op" in spec):
+        raise ValidationError(
+            f"invalid graph node spec {spec!r}; expected an op name, "
+            "(name, params) or {'name': ..., 'op': ..., 'inputs': [...], "
+            "'params': {...}, 'after': [...]}"
+        )
+    unknown = set(spec) - {"name", "op", "inputs", "params", "after"}
+    if unknown:
+        raise ValidationError(
+            f"graph node spec has unknown key(s) {sorted(unknown)}; "
+            "allowed: name, op, inputs, params, after"
+        )
+    op = str(spec["op"])
+    name = str(spec.get("name") or op)
+    inputs = spec.get("inputs")
+    if inputs is None:
+        info = op_info(op)
+        if info.kind == "reduce":
+            raise ValidationError(
+                f"node {name!r}: reduce op {op!r} needs explicit inputs "
+                "('batch' or the per-run node(s) to collect); there is no "
+                "default batch-scope wiring"
+            )
+        inputs = ["stack"] * info.n_inputs
+    if isinstance(inputs, str):
+        inputs = [inputs]
+    params = spec.get("params") or {}
+    if not isinstance(params, dict):
+        raise ValidationError(f"node {name!r}: params must be a dict, got {type(params).__name__}")
+    try:
+        params = json_normalize(params)
+    except H5LiteError as exc:
+        raise ValidationError(
+            f"node {name!r}: op parameters must be JSON-serialisable: {exc}"
+        ) from None
+    after = spec.get("after") or ()
+    if isinstance(after, str):
+        after = [after]
+    return NodeSpec(
+        name=name,
+        op=op,
+        inputs=tuple(str(ref) for ref in inputs),
+        params=tuple(sorted(params.items())),
+        after=tuple(str(ref) for ref in after),
+    )
+
+
+def graph(*specs) -> AnalysisGraph:
+    """Build an :class:`AnalysisGraph` from node specs.
+
+    Each spec is a dict ``{"name", "op", "inputs", "params", "after"}``
+    (``name`` defaults to the op name, ``inputs`` defaults to the per-run
+    stack for run ops), a bare op name, or an ``(op, params)`` pair::
+
+        repro.graph(
+            "integrated_profile",
+            {"name": "bright", "op": "aperture_total", "params": {"radius_fraction": 0.5}},
+            {"name": "stats", "op": "sample_stats", "inputs": ["bright"]},
+        )
+    """
+    return AnalysisGraph(_build_node(spec) for spec in specs)
+
+
+def compile_linear(pipeline: AnalysisPipeline) -> AnalysisGraph:
+    """Compile a linear :class:`~repro.core.ops.AnalysisPipeline` to a chain DAG.
+
+    Every step becomes one node consuming the stack, chained with
+    ordering-only ``after`` edges so the compiled graph executes in the exact
+    step order (steps may repeat an op with different parameters, so node
+    names disambiguate with a positional suffix when needed).
+    """
+    if not isinstance(pipeline, AnalysisPipeline):
+        raise ValidationError(
+            f"compile_linear() takes an AnalysisPipeline, got {type(pipeline).__name__}"
+        )
+    nodes: List[NodeSpec] = []
+    used: set = set(RESERVED_INPUTS)
+    previous: Optional[str] = None
+    for index, step in enumerate(pipeline.steps):
+        name = step.op
+        if name in used:
+            name = f"{step.op}_{index}"
+        used.add(name)
+        nodes.append(NodeSpec(
+            name=name,
+            op=step.op,
+            inputs=("stack",),
+            params=step.params,
+            after=(previous,) if previous is not None else (),
+        ))
+        previous = name
+    return AnalysisGraph(nodes)
+
+
+def as_graph(value) -> AnalysisGraph:
+    """Coerce *value* into an :class:`AnalysisGraph`.
+
+    Accepts a prebuilt graph, a linear pipeline (compiled to a chain DAG), a
+    single node spec or a sequence of node specs.
+    """
+    if isinstance(value, AnalysisGraph):
+        return value
+    if isinstance(value, AnalysisPipeline):
+        return compile_linear(value)
+    if isinstance(value, (str, dict, NodeSpec)) or (
+        isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], dict)
+    ):
+        return graph(value)
+    if isinstance(value, (list, tuple)):
+        return graph(*value)
+    raise ValidationError(
+        f"cannot build an analysis graph from {type(value).__name__}; "
+        "pass node specs, an AnalysisPipeline or an AnalysisGraph"
+    )

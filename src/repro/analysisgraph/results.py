@@ -1,0 +1,204 @@
+"""Outcome types for DAG analyses: per-run and batch-scope results.
+
+:class:`GraphAnalysisResult` extends the linear
+:class:`~repro.core.ops.AnalysisResult` with the node graph, per-node
+timings and memoization hits in its provenance — one record per node, keyed
+by **node name** (two nodes may share an op).  :class:`GraphBatchResult` is
+the batch-scope outcome: per-item results with the same per-item error
+capture as linear batch analyses, plus one record per reduce node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.ops import AnalysisResult
+from repro.utils.version import package_version
+
+__all__ = ["GraphAnalysisResult", "GraphBatchItem", "GraphBatchResult"]
+
+
+@dataclass
+class GraphAnalysisResult(AnalysisResult):
+    """One graph executed on one run.
+
+    ``results`` holds one record per node in spec order —
+    ``{"node", "op", "inputs", "params", "value"}`` — and indexing prefers
+    node names (``outcome["bright"]``) with op names as a fallback, so
+    single-purpose graphs read exactly like pipeline outcomes.  ``graph`` is
+    the node-spec list and ``execution`` records how it ran: executor,
+    per-node wall times and memo hits.
+    """
+
+    graph: List[Dict] = field(default_factory=list)
+    execution: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def node_names(self) -> List[str]:
+        """Executed node names, in spec order."""
+        return [record["node"] for record in self.results]
+
+    @property
+    def values(self) -> Dict[str, object]:
+        """Mapping of node name to value."""
+        return {record["node"]: record["value"] for record in self.results}
+
+    def __getitem__(self, name: str):
+        for record in self.results:
+            if record["node"] == name:
+                return record["value"]
+        for record in self.results:  # op-name fallback (pipeline ergonomics)
+            if record["op"] == name:
+                return record["value"]
+        raise KeyError(
+            f"{name!r} names neither a node nor an op of this analysis; "
+            f"nodes: {self.node_names()}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return any(
+            record["node"] == name or record["op"] == name for record in self.results
+        )
+
+    # ------------------------------------------------------------------ #
+    def provenance(self) -> Dict:
+        """Chained provenance: run record, node graph and execution detail."""
+        return {
+            "repro_version": package_version(),
+            "graph": {"nodes": list(self.graph), "signature": self.execution.get("signature")},
+            "execution": dict(self.execution),
+            "run": self.run,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-node summary."""
+        lines = []
+        for record in self.results:
+            value = record["value"]
+            shown = f"{len(value)} item(s)" if isinstance(value, list) else value
+            memo = " [memo]" if record.get("memo_hit") else ""
+            lines.append(f"{record['node']} ({record['op']}): {shown}{memo}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GraphBatchItem:
+    """One batch item's per-run subgraph outcome."""
+
+    input_path: str
+    ok: bool
+    analysis: Optional[GraphAnalysisResult] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record of this item."""
+        return {
+            "input_path": self.input_path,
+            "ok": self.ok,
+            "analysis": None if self.analysis is None else self.analysis.to_dict(),
+            "error": self.error,
+        }
+
+
+@dataclass
+class GraphBatchResult:
+    """A graph executed over a whole batch.
+
+    ``items`` mirrors linear batch analyses (per-item error capture, input
+    order preserved); ``reduces`` holds one record per reduce node —
+    ``{"node", "op", "inputs", "params", "value", "error", "elapsed_s",
+    "memo_hit"}`` — in spec order.  ``outcome["fit"]`` returns a reduce
+    node's value and fails loudly when that node errored or was skipped.
+    """
+
+    items: List[GraphBatchItem] = field(default_factory=list)
+    reduces: List[Dict] = field(default_factory=list)
+    graph: List[Dict] = field(default_factory=list)
+    execution: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ok(self) -> int:
+        """Items whose per-run subgraph succeeded."""
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Items whose run or per-run subgraph failed."""
+        return len(self.items) - self.n_ok
+
+    @property
+    def succeeded(self) -> List[GraphBatchItem]:
+        """The successful items, in input order."""
+        return [item for item in self.items if item.ok]
+
+    @property
+    def failed(self) -> List[GraphBatchItem]:
+        """The failed items, in input order."""
+        return [item for item in self.items if not item.ok]
+
+    def reduce_names(self) -> List[str]:
+        """Reduce node names, in spec order."""
+        return [record["node"] for record in self.reduces]
+
+    @property
+    def values(self) -> Dict[str, object]:
+        """Mapping of reduce node name to value (successful reduces only)."""
+        return {
+            record["node"]: record["value"]
+            for record in self.reduces if record.get("error") is None
+        }
+
+    def __getitem__(self, name: str):
+        for record in self.reduces:
+            if record["node"] == name:
+                if record.get("error") is not None:
+                    raise KeyError(
+                        f"reduce node {name!r} did not produce a value: {record['error']}"
+                    )
+                return record["value"]
+        raise KeyError(
+            f"{name!r} is not a reduce node of this analysis; reduce nodes: "
+            f"{self.reduce_names()} (per-item values live on .items)"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return any(record["node"] == name for record in self.reduces)
+
+    # ------------------------------------------------------------------ #
+    def provenance(self) -> Dict:
+        """JSON-safe provenance: node graph plus execution detail."""
+        return {
+            "repro_version": package_version(),
+            "graph": {"nodes": list(self.graph), "signature": self.execution.get("signature")},
+            "execution": dict(self.execution),
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record of the whole batch-scope analysis."""
+        return {
+            "provenance": self.provenance(),
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "items": [item.to_dict() for item in self.items],
+            "reduces": [dict(record) for record in self.reduces],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The batch-scope analysis record as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """Human-readable summary: item tally plus one line per reduce node."""
+        lines = [f"items: {self.n_ok} ok, {self.n_failed} failed of {len(self.items)}"]
+        for record in self.reduces:
+            if record.get("error") is not None:
+                lines.append(f"{record['node']} ({record['op']}): ERROR {record['error']}")
+                continue
+            value = record["value"]
+            shown = f"{len(value)} item(s)" if isinstance(value, list) else value
+            memo = " [memo]" if record.get("memo_hit") else ""
+            lines.append(f"{record['node']} ({record['op']}): {shown}{memo}")
+        return "\n".join(lines)

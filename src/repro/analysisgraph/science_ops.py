@@ -1,0 +1,244 @@
+"""Cross-run science ops: aperture photometry, morphology, sample reductions.
+
+The population-level analyses the related work performs across cluster
+samples, as first-class registry ops:
+
+* per-run — :func:`aperture_total` (model-independent aperture-integrated
+  map totals, the Y_SZ idiom of Sayers et al., arXiv:1010.1798) and
+  :func:`zernike_moments_op` (Zernike morphology of the integrated detector
+  image, Capalbo et al., arXiv:2310.07759);
+* reduce — :func:`integrated_estimate` (sample aggregate of per-run totals),
+  :func:`scaling_fit` (log-log scaling relation between two derived
+  quantities across the sample, Holanda & da Silva, arXiv:2007.14199) and
+  :func:`sample_stats` (median/IQR/outlier flags per derived quantity).
+
+Registered on import of :mod:`repro.analysisgraph` and resolved through the
+one op registry, so they appear in ``repro.ops()`` / ``repro-analyze --list``
+next to the built-ins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysisgraph.zernike import zernike_moments
+from repro.core.ops import register_op, register_reduce_op
+from repro.core.result import DepthResolvedStack
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "aperture_total",
+    "zernike_moments_op",
+    "integrated_estimate",
+    "scaling_fit",
+    "sample_stats",
+]
+
+
+# --------------------------------------------------------------------------- #
+# per-run ops
+def _integrated_image(result: DepthResolvedStack) -> np.ndarray:
+    """The depth-integrated detector image ``(n_rows, n_cols)``."""
+    return np.asarray(result.data, dtype=np.float64).sum(axis=0)
+
+
+@register_op("aperture_total", description="aperture-integrated total of the detector image")
+def aperture_total(result: DepthResolvedStack, radius_fraction: float = 1.0) -> float:
+    """Total intensity of the integrated detector image inside a centered disk.
+
+    ``radius_fraction`` scales the largest inscribed radius (1.0: the whole
+    inscribed disk); the model-independent integrated estimate of a map that
+    cross-run reductions aggregate over a sample.
+    """
+    radius_fraction = float(radius_fraction)
+    if not radius_fraction > 0:
+        raise ValidationError(f"radius_fraction must be > 0, got {radius_fraction}")
+    image = _integrated_image(result)
+    n_rows, n_cols = image.shape
+    radius = radius_fraction * min(n_rows - 1, n_cols - 1) / 2.0
+    if radius <= 0:
+        return float(image.sum())
+    rows, cols = np.mgrid[0:n_rows, 0:n_cols]
+    dy = rows - (n_rows - 1) / 2.0
+    dx = cols - (n_cols - 1) / 2.0
+    inside = dy * dy + dx * dx <= radius * radius + 1e-9
+    return float(image[inside].sum())
+
+
+@register_op("zernike_moments", description="Zernike morphology moments of the integrated detector image")
+def zernike_moments_op(
+    result: DepthResolvedStack, n_max: int = 4, radius_fraction: float = 1.0
+) -> Dict:
+    """Zernike moments of the depth-integrated detector image.
+
+    See :func:`repro.analysisgraph.zernike.zernike_moments` for the moment
+    convention; ``c00`` is 1 by normalization and non-zero ``m`` moments
+    flag azimuthal asymmetry (the morphology-classification features).
+    """
+    moments = zernike_moments(
+        _integrated_image(result), n_max=n_max, radius_fraction=radius_fraction
+    )
+    return {
+        "n_max": int(n_max),
+        "radius_fraction": float(radius_fraction),
+        "moments": moments,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# reduce ops
+def _numeric_series(values, key: Optional[str], op: str, role: str) -> Tuple[List[float], int]:
+    """Collected values as floats; ``(series, n_dropped_nonfinite)``.
+
+    Entries may be plain numbers or dicts carrying one (then *key* selects
+    it).  Anything non-numeric fails fast naming the op, the role and the
+    offending index — a reduce over a sample must not silently skip items.
+    """
+    if not isinstance(values, (list, tuple)):
+        raise ValidationError(
+            f"{op} expects collected per-run values for {role} (a list); got "
+            f"{type(values).__name__} — feed it a per-run node, not 'batch'"
+        )
+    series: List[float] = []
+    dropped = 0
+    for index, entry in enumerate(values):
+        if isinstance(entry, dict):
+            if key is None:
+                raise ValidationError(
+                    f"{op}: {role}[{index}] is a dict; pass the key to reduce on "
+                    f"(available: {sorted(entry)})"
+                )
+            if key not in entry:
+                raise ValidationError(
+                    f"{op}: {role}[{index}] has no key {key!r} (available: {sorted(entry)})"
+                )
+            entry = entry[key]
+        if isinstance(entry, bool) or not isinstance(entry, (int, float)):
+            raise ValidationError(
+                f"{op}: {role}[{index}] is not a number "
+                f"(got {type(entry).__name__}); reduce ops consume numeric "
+                "per-run values"
+            )
+        entry = float(entry)
+        if not math.isfinite(entry):
+            dropped += 1
+            continue
+        series.append(entry)
+    return series, dropped
+
+
+@register_reduce_op("integrated_estimate", description="sample aggregate of per-run integrated totals")
+def integrated_estimate(values, key: Optional[str] = None) -> Dict:
+    """Aggregate a per-run integrated quantity across the sample.
+
+    The stacked model-independent estimate: total, mean, median and spread
+    of the collected per-run values (e.g. an ``aperture_total`` node).
+    """
+    series, dropped = _numeric_series(values, key, "integrated_estimate", "values")
+    if not series:
+        raise ValidationError(
+            "integrated_estimate needs at least one finite value "
+            f"(got {len(values)} entries, {dropped} non-finite)"
+        )
+    data = np.asarray(series, dtype=np.float64)
+    return {
+        "n": int(data.size),
+        "n_dropped": int(dropped),
+        "total": float(data.sum()),
+        "mean": float(data.mean()),
+        "median": float(np.median(data)),
+        "std": float(data.std()),
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+@register_reduce_op("scaling_fit", description="log-log scaling relation between two derived quantities")
+def scaling_fit(
+    x_values,
+    y_values,
+    x_key: Optional[str] = None,
+    y_key: Optional[str] = None,
+) -> Dict:
+    """Fit ``log10(y) = slope * log10(x) + intercept`` across the sample.
+
+    The scaling-relation estimator: pairs with a non-positive or non-finite
+    member are dropped (and counted), the fit is an ordinary least-squares
+    line in log-log space, and ``scatter_dex`` is the RMS of the residuals
+    in dex — the intrinsic-scatter figure the cluster scaling literature
+    quotes.
+    """
+    xs, x_dropped = _numeric_series(x_values, x_key, "scaling_fit", "x_values")
+    ys, y_dropped = _numeric_series(y_values, y_key, "scaling_fit", "y_values")
+    if len(xs) != len(ys):
+        raise ValidationError(
+            f"scaling_fit needs paired samples, got {len(xs)} x value(s) and "
+            f"{len(ys)} y value(s); feed it two per-run nodes collected over "
+            "the same batch"
+        )
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    dropped = x_dropped + y_dropped + (len(xs) - len(pairs))
+    if len(pairs) < 2:
+        raise ValidationError(
+            f"scaling_fit needs at least 2 usable pairs (positive, finite), got "
+            f"{len(pairs)} of {len(xs)}"
+        )
+    log_x = np.log10([pair[0] for pair in pairs])
+    log_y = np.log10([pair[1] for pair in pairs])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residuals = log_y - predicted
+    ss_res = float(np.sum(residuals ** 2))
+    ss_tot = float(np.sum((log_y - log_y.mean()) ** 2))
+    return {
+        "slope": float(slope),
+        "intercept": float(intercept),
+        "scatter_dex": float(np.sqrt(np.mean(residuals ** 2))),
+        "r_squared": 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+        "n_used": int(len(pairs)),
+        "n_dropped": int(dropped),
+    }
+
+
+@register_reduce_op("sample_stats", description="median/IQR/outlier flags of a derived quantity")
+def sample_stats(values, key: Optional[str] = None, outlier_iqr: float = 1.5) -> Dict:
+    """Robust sample statistics with Tukey-fence outlier flags.
+
+    ``outliers`` holds the indices (into the collected order — i.e. the
+    successful batch items in input order) of values outside
+    ``[q1 - k*iqr, q3 + k*iqr]`` with ``k = outlier_iqr``.
+    """
+    outlier_iqr = float(outlier_iqr)
+    if outlier_iqr < 0:
+        raise ValidationError(f"outlier_iqr must be >= 0, got {outlier_iqr}")
+    series, dropped = _numeric_series(values, key, "sample_stats", "values")
+    if not series:
+        raise ValidationError(
+            "sample_stats needs at least one finite value "
+            f"(got {len(values)} entries, {dropped} non-finite)"
+        )
+    data = np.asarray(series, dtype=np.float64)
+    q1, median, q3 = (float(q) for q in np.percentile(data, [25.0, 50.0, 75.0]))
+    iqr = q3 - q1
+    low = q1 - outlier_iqr * iqr
+    high = q3 + outlier_iqr * iqr
+    outliers = [int(i) for i, value in enumerate(series) if value < low or value > high]
+    return {
+        "n": int(data.size),
+        "n_dropped": int(dropped),
+        "median": median,
+        "q1": q1,
+        "q3": q3,
+        "iqr": iqr,
+        "mean": float(data.mean()),
+        "std": float(data.std()),
+        "min": float(data.min()),
+        "max": float(data.max()),
+        "fence_low": low,
+        "fence_high": high,
+        "outliers": outliers,
+        "n_outliers": len(outliers),
+    }

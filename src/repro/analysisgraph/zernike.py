@@ -1,0 +1,121 @@
+"""Zernike-moment decomposition of 2-D intensity maps.
+
+The morphology-classification path of the analysis graph (Capalbo et al.,
+arXiv:2310.07759 applies exactly this to cluster maps): an integrated
+detector image is projected onto the Zernike polynomial basis over an
+inscribed disk, and the low-order moments summarize the map's morphology —
+``c00`` is 1 by normalization, ``c20``/``c40`` measure radial concentration,
+non-zero ``m`` moments measure azimuthal asymmetry.
+
+Moment convention (discrete, intensity-weighted)::
+
+    c_{n,m} = (n + 1) * sum_k  w_k * R_n^m(rho_k) * exp(-i * m * theta_k)
+
+with ``w`` the pixel intensities inside the unit disk normalized to sum to
+one.  Consequences the golden tests pin down analytically:
+
+* ``c00 == 1`` exactly, for any map;
+* a point source at the exact center has ``c20 = (2+1) * R_2^0(0) = -3``
+  and ``c40 = (4+1) * R_4^0(0) = 5``;
+* any map with the grid's 4-fold symmetry has exactly vanishing
+  ``m in {1, 2, 3}`` moments (the phase terms cancel in symmetric pairs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["radial_polynomial", "zernike_moments"]
+
+
+def radial_polynomial(n: int, m: int, rho: np.ndarray) -> np.ndarray:
+    """The Zernike radial polynomial ``R_n^m`` evaluated at radii *rho*.
+
+    Defined for ``0 <= m <= n`` with ``n - m`` even (zero otherwise by
+    convention, which this function rejects rather than silently returns).
+    """
+    n = int(n)
+    m = int(m)
+    if n < 0 or m < 0 or m > n or (n - m) % 2:
+        raise ValidationError(
+            f"radial polynomial R_n^m needs 0 <= m <= n with n-m even, got n={n}, m={m}"
+        )
+    rho = np.asarray(rho, dtype=np.float64)
+    out = np.zeros_like(rho)
+    for k in range((n - m) // 2 + 1):
+        coefficient = (
+            (-1) ** k * math.factorial(n - k)
+            / (math.factorial(k)
+               * math.factorial((n + m) // 2 - k)
+               * math.factorial((n - m) // 2 - k))
+        )
+        out += coefficient * rho ** (n - 2 * k)
+    return out
+
+
+def zernike_moments(
+    image: np.ndarray, n_max: int = 4, radius_fraction: float = 1.0
+) -> List[Dict]:
+    """Zernike moments of a 2-D map over its inscribed disk.
+
+    Returns one record per ``(n, m)`` with ``n <= n_max``, ``0 <= m <= n``
+    and ``n - m`` even — ``{"n", "m", "re", "im", "abs"}`` — ordered by
+    ``n`` then ``m``.  The disk is centered on the image center with radius
+    ``radius_fraction`` times the largest inscribed radius; intensities
+    inside it are normalized to sum to one, so ``c00`` is exactly 1 and maps
+    of different total brightness are directly comparable.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2 or image.size == 0:
+        raise ValidationError(
+            f"zernike_moments needs a non-empty 2-D map, got shape {image.shape}"
+        )
+    n_max = int(n_max)
+    if n_max < 0:
+        raise ValidationError(f"n_max must be >= 0, got {n_max}")
+    radius_fraction = float(radius_fraction)
+    if not radius_fraction > 0:
+        raise ValidationError(f"radius_fraction must be > 0, got {radius_fraction}")
+
+    n_rows, n_cols = image.shape
+    center_row = (n_rows - 1) / 2.0
+    center_col = (n_cols - 1) / 2.0
+    radius = radius_fraction * min(n_rows - 1, n_cols - 1) / 2.0
+    if radius <= 0:  # a 1-pixel map: the center pixel is the whole disk
+        radius = 1.0
+    rows, cols = np.mgrid[0:n_rows, 0:n_cols]
+    dy = (rows - center_row) / radius
+    dx = (cols - center_col) / radius
+    rho = np.sqrt(dx * dx + dy * dy)
+    inside = rho <= 1.0 + 1e-12
+
+    weights = image[inside]
+    if np.any(weights < 0):
+        raise ValidationError("zernike_moments needs a non-negative intensity map")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValidationError(
+            "zernike_moments needs positive total intensity inside the disk"
+        )
+    weights = weights / total
+    rho_in = rho[inside]
+    theta_in = np.arctan2(dy[inside], dx[inside])
+
+    moments: List[Dict] = []
+    for n in range(n_max + 1):
+        for m in range(n % 2, n + 1, 2):
+            radial = radial_polynomial(n, m, rho_in)
+            value = (n + 1) * np.sum(weights * radial * np.exp(-1j * m * theta_in))
+            moments.append({
+                "n": n,
+                "m": m,
+                "re": float(value.real),
+                "im": float(value.imag),
+                "abs": float(abs(value)),
+            })
+    return moments

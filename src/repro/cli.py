@@ -17,9 +17,14 @@ Nine small tools mirror the original workflow:
     Introspect the pluggable backend registry: names, capability flags and
     where each backend is defined.
 ``repro-analyze``
-    Apply named analysis ops (``repro.analysis`` pipelines) to a saved
-    depth-resolved run file and emit the JSON analysis record —
-    byte-identical to ``repro.analysis(...).apply(path).to_json()``.
+    Apply named analysis ops (``repro.analysis`` pipelines) to saved
+    depth-resolved run files and emit the JSON analysis record — for a
+    single file, byte-identical to
+    ``repro.analysis(...).apply(path).to_json()``.  A glob or directory
+    input analyses the whole sample (per-item error table on stderr and a
+    nonzero exit when any item fails); ``--graph`` switches the specs to
+    DAG node objects, unlocking batch-scope reduce ops such as
+    ``scaling_fit`` and ``integrated_estimate``.
 ``repro-cache``
     Administer the content-addressed result cache: ``stats``, ``prune``
     (``--max-bytes`` / ``--older-than``), ``clear`` and ``verify`` (which
@@ -44,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -263,26 +269,72 @@ def _parse_op_spec(token: str):
     return (name, params)
 
 
+def _parse_node_spec(token: str):
+    """Parse a CLI graph-node token: a JSON node object or an op-name sugar."""
+    if token.lstrip().startswith("{"):
+        try:
+            spec = json.loads(token)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"invalid JSON node spec {token!r}: {exc}") from None
+        if not isinstance(spec, dict):
+            raise SystemExit(f"graph node spec must be a JSON object, got {token!r}")
+        return spec
+    return _parse_op_spec(token)
+
+
+def _analyze_inputs(input_token: str):
+    """``(paths, is_batch)`` for the analyze CLI's input token.
+
+    A directory or a glob is a batch (every matching ``.h5lite``); a plain
+    path is the historical single-file mode.
+    """
+    import glob as globmod
+
+    if os.path.isdir(input_token):
+        paths = sorted(
+            os.path.join(input_token, name)
+            for name in os.listdir(input_token)
+            if name.endswith(".h5lite")
+        )
+        if not paths:
+            raise SystemExit(f"no .h5lite files in directory {input_token!r}")
+        return paths, True
+    if globmod.has_magic(input_token):
+        paths = sorted(globmod.glob(input_token))
+        if not paths:
+            raise SystemExit(f"glob {input_token!r} matched no files")
+        return paths, True
+    return [input_token], False
+
+
 def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
-    """Apply analysis ops to a saved depth-resolved run file."""
+    """Apply analysis ops (or a DAG graph) to saved depth-resolved run files."""
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
-        description="Run named analysis ops on a saved depth-resolved .h5lite file "
-                    "and emit the JSON analysis record.",
+        description="Run named analysis ops on saved depth-resolved .h5lite files "
+                    "(a file, a glob or a directory) and emit the JSON analysis "
+                    "record.  With --graph, specs are DAG node objects and batch "
+                    "inputs may include reduce ops over the whole sample.",
     )
     parser.add_argument("input", nargs="?",
                         help="a depth-resolved .h5lite file (as written by RunResult.save "
-                             "or repro-reconstruct -o)")
+                             "or repro-reconstruct -o), a glob, or a directory of runs")
     parser.add_argument("ops", nargs="*",
                         help="op names, optionally parameterized as "
-                             "name:'{\"param\": value}' (see --list)")
+                             "name:'{\"param\": value}' (see --list); with --graph, "
+                             "JSON node specs like "
+                             "'{\"name\": \"fit\", \"op\": \"scaling_fit\", \"inputs\": [...]}'")
+    parser.add_argument("--graph", action="store_true", dest="as_graph",
+                        help="treat the specs as DAG node specs (named nodes, "
+                             "declared inputs, reduce ops at batch scope)")
     parser.add_argument("--list", action="store_true", dest="list_ops",
                         help="list the registered analysis ops and exit")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="with --list, emit the op registry as JSON")
     parser.add_argument("-o", "--output",
                         help="write the JSON analysis record here instead of stdout")
-    args = parser.parse_args(argv)
+    # intermixed: `repro-analyze runs/ tot --graph` parses like `--graph runs/ tot`
+    args = parser.parse_intermixed_args(argv)
     configure_logging()
 
     from repro.core.ops import analysis, ops as list_ops
@@ -301,15 +353,49 @@ def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
     if not args.ops:
         parser.error("at least one op name is required (see --list)")
 
-    pipeline = analysis(*[_parse_op_spec(token) for token in args.ops])
-    outcome = pipeline.apply(args.input)
+    if args.as_graph:
+        from repro.analysisgraph import graph as build_graph
+        from repro.utils.validation import ValidationError
+
+        try:
+            analyzer = build_graph(*[_parse_node_spec(token) for token in args.ops])
+        except ValidationError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        analyzer = analysis(*[_parse_op_spec(token) for token in args.ops])
+
+    paths, is_batch = _analyze_inputs(args.input)
+    if is_batch:
+        from repro.core.pipeline import BatchItem
+        from repro.core.session import BatchRunResult
+
+        # each item analyses (and error-isolates) from its saved file
+        batch = BatchRunResult(
+            items=[BatchItem(input_path=path, ok=True, output_path=path) for path in paths],
+            wall_time=0.0,
+            max_workers=0,
+            source={"kind": "analyze-batch", "n_items": len(paths)},
+        )
+        outcome = analyzer.apply(batch)
+        failures = outcome.failed
+    else:
+        outcome = analyzer.apply(paths[0])
+        failures = []
+
     document = outcome.to_json()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(document)
-        print(f"wrote analysis record ({', '.join(outcome.op_names())}) to {args.output}")
+        print(f"wrote analysis record ({len(paths)} input(s)) to {args.output}")
     else:
         print(document)
+    if failures:
+        from repro.perf.reporting import format_analysis_failures
+
+        print(format_analysis_failures(failures), file=sys.stderr)
+        print(f"repro-analyze: {len(failures)} of {len(paths)} item(s) failed",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -89,6 +89,7 @@ from repro.core.ops import (
     available_ops,
     register_op,
     register_op_info,
+    register_reduce_op,
     unregister_op,
 )
 
@@ -158,5 +159,6 @@ __all__ = [
     "available_ops",
     "register_op",
     "register_op_info",
+    "register_reduce_op",
     "unregister_op",
 ]

@@ -202,10 +202,22 @@ class RunResult:
         :attr:`analysis` and returns it.  Keyword arguments parameterize a
         *single* op: ``run.analyze("peaks", min_relative_height=0.2)``; for
         per-op parameters build the pipeline explicitly with
-        :func:`repro.analysis`.
+        :func:`repro.analysis`.  A prebuilt
+        :class:`~repro.analysisgraph.AnalysisGraph` (or
+        :class:`~repro.core.ops.AnalysisPipeline`) is applied as-is:
+        ``run.analyze(repro.graph(...))``.
         """
-        from repro.core.ops import analysis
+        from repro.analysisgraph import AnalysisGraph
+        from repro.core.ops import AnalysisPipeline, analysis
 
+        if len(ops) == 1 and isinstance(ops[0], (AnalysisGraph, AnalysisPipeline)):
+            if single_op_params:
+                raise ValidationError(
+                    "keyword parameters do not combine with a prebuilt "
+                    "pipeline/graph; bind parameters on its nodes instead"
+                )
+            self.analysis = self._apply_analysis(ops[0])
+            return self.analysis
         if single_op_params and len(ops) != 1:
             raise ValidationError(
                 "keyword parameters require exactly one op; build a pipeline "
@@ -230,7 +242,17 @@ class RunResult:
         return self
 
     def _apply_analysis(self, pipeline):
-        """Apply an analysis pipeline, memoized when this run is cache-bound."""
+        """Apply an analysis pipeline or graph, memoized when cache-bound.
+
+        Pipelines memoize whole-outcome per (run key, pipeline signature) —
+        the pre-DAG scheme, kept so existing memo entries still hit; graphs
+        memoize per node inside the graph engine (the bound cache is picked
+        up there), so a parameter change recomputes only its dirty subgraph.
+        """
+        from repro.analysisgraph import AnalysisGraph
+
+        if isinstance(pipeline, AnalysisGraph):
+            return pipeline.apply(self)
         cache = getattr(self, "_bound_cache", None)
         if cache is not None and self.cache_stats is not None:
             return cache.analyze(self, pipeline)
@@ -293,6 +315,32 @@ class BatchRunResult(BatchReport):
 
     config: Optional[ReconstructionConfig] = None
     source: Dict = field(default_factory=dict)
+    #: outcome of the last :meth:`analyze` / ``run_many(analyze=...)`` —
+    #: a BatchAnalysisResult (pipeline fan-out) or GraphBatchResult (DAG)
+    analysis: Optional[object] = None
+
+    def analyze(self, *specs, executor: str = "auto",
+                max_workers: Optional[int] = None) -> "object":
+        """Run a batch-scope analysis over this batch and return the outcome.
+
+        A prebuilt :class:`~repro.analysisgraph.AnalysisGraph` executes with
+        per-run nodes fanned out over the items (in parallel) and reduce
+        nodes consuming the collected outputs; anything else builds a linear
+        pipeline exactly like :meth:`RunResult.analyze` and fans it out
+        item-wise.  The outcome is kept on :attr:`analysis` and returned.
+        """
+        from repro.analysisgraph import AnalysisGraph
+        from repro.core.ops import AnalysisPipeline, analysis as build_analysis
+
+        if len(specs) == 1 and isinstance(specs[0], AnalysisGraph):
+            self.analysis = specs[0].apply(
+                self, executor=executor, max_workers=max_workers
+            )
+        elif len(specs) == 1 and isinstance(specs[0], AnalysisPipeline):
+            self.analysis = specs[0].apply(self)
+        else:
+            self.analysis = build_analysis(*specs).apply(self)
+        return self.analysis
 
     def to_dict(self) -> Dict:
         """JSON-safe record of the batch run."""
@@ -309,6 +357,7 @@ class BatchRunResult(BatchReport):
             "n_failed": self.n_failed,
             "n_cached": self.n_cached,
             "throughput_files_per_second": self.throughput_files_per_second,
+            "analysis": None if self.analysis is None else self.analysis.to_dict(),
             "items": [
                 {
                     "input_path": item.input_path,
@@ -417,6 +466,21 @@ class BatchRunResult(BatchReport):
             config=shared_config,
             source={"kind": "batch-dir", "directory": directory, "n_items": len(items)},
         )
+
+
+def _analyze_batch(outcome: BatchRunResult, analyze) -> BatchRunResult:
+    """Run the ``run_many(analyze=...)`` spec on a finished batch, if any."""
+    if analyze is None:
+        return outcome
+    single_spec = (
+        isinstance(analyze, tuple) and len(analyze) == 2
+        and isinstance(analyze[0], str) and isinstance(analyze[1], dict)
+    )
+    if isinstance(analyze, (list, tuple)) and not single_spec:
+        outcome.analyze(*analyze)
+    else:
+        outcome.analyze(analyze)
+    return outcome
 
 
 # --------------------------------------------------------------------------- #
@@ -658,9 +722,13 @@ class Session:
         if output_path is not None:
             run.save(output_path)
         if analyze is not None:
+            from repro.analysisgraph import AnalysisGraph
             from repro.core.ops import as_pipeline
 
-            run.analysis = run._apply_analysis(as_pipeline(analyze))
+            if isinstance(analyze, AnalysisGraph):
+                run.analysis = run._apply_analysis(analyze)
+            else:
+                run.analysis = run._apply_analysis(as_pipeline(analyze))
         return run
 
     def run_many(
@@ -672,6 +740,7 @@ class Session:
         keep_results: bool = True,
         memory_budget: Optional[int] = None,
         cache=None,
+        analyze=None,
     ) -> BatchRunResult:
         """Reconstruct a batch of sources with overlapping whole-file runs.
 
@@ -716,6 +785,13 @@ class Session:
             has ``cached=True``), and only the changed/unseen items are
             scheduled — worker count and the memory-budget gate are planned
             over the recomputed items alone.
+        analyze:
+            Batch-scope analysis to run on the finished batch — an
+            :class:`~repro.analysisgraph.AnalysisGraph` (per-run nodes fan
+            out, reduce nodes consume the collected outputs, values memoized
+            per node when a cache is active), a prebuilt pipeline, or
+            linear op specs.  The outcome lands on
+            :attr:`BatchRunResult.analysis`.
         """
         if isinstance(srcs, (list, tuple)):
             # per-entry isolation: an entry that cannot even be normalized
@@ -734,11 +810,12 @@ class Session:
             "items": [source.identity() for source in sources],
         }
         if not sources:
-            return BatchRunResult(
+            empty = BatchRunResult(
                 items=[], wall_time=0.0, max_workers=0,
                 backend=self.config.backend, streaming=self.config.streaming,
                 config=self.config, source=identity,
             )
+            return _analyze_batch(empty, analyze)
         from repro.core.pipeline import plan_batch_concurrency, run_batch_jobs
 
         batch_start = time.perf_counter()
@@ -837,7 +914,7 @@ class Session:
             source=identity,
         )
         _LOG.info("batch finished: %s", outcome.summary().splitlines()[0])
-        return outcome
+        return _analyze_batch(outcome, analyze)
 
     def _serve_batch_hit(
         self,

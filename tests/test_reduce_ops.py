@@ -1,0 +1,264 @@
+"""Golden-value tests for the cross-run science ops.
+
+Every reduce op is pinned against analytically known inputs:
+
+* ``integrated_estimate`` over known totals;
+* ``scaling_fit`` recovering a planted power-law slope and intercept
+  exactly from noiseless pairs — plus the acceptance-scale version: a
+  planted slope recovered through the full API (``run_many`` over 100+
+  reconstructed synthetic runs) *and* through ``repro-analyze --graph``;
+* ``sample_stats`` quartiles/fences with a planted outlier;
+* the Zernike moments of symmetric phantoms, whose non-axisymmetric
+  moments vanish by symmetry and whose radial moments have closed forms
+  (a centered point source has ``c20 = -3`` and ``c40 = 5`` because
+  ``R_2^0(0) = -1`` and ``R_4^0(0) = 1``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import io
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysisgraph.science_ops import (
+    integrated_estimate,
+    sample_stats,
+    scaling_fit,
+)
+from repro.analysisgraph.zernike import radial_polynomial, zernike_moments
+from repro.cli import main_analyze
+from repro.core.ops import op_info, register_op, unregister_op
+from repro.io.image_stack import save_wire_scan
+from repro.synthetic.workloads import make_point_source_stack
+from repro.utils.validation import ValidationError
+
+
+class TestIntegratedEstimate:
+    def test_known_totals(self):
+        outcome = integrated_estimate([1.0, 2.0, 3.0, 4.0])
+        assert outcome["n"] == 4 and outcome["n_dropped"] == 0
+        assert outcome["total"] == 10.0
+        assert outcome["mean"] == 2.5 and outcome["median"] == 2.5
+        assert outcome["min"] == 1.0 and outcome["max"] == 4.0
+        assert outcome["std"] == pytest.approx(np.sqrt(1.25))
+
+    def test_key_extraction_and_nonfinite_drop(self):
+        values = [{"total": 5.0}, {"total": float("nan")}, {"total": 7.0}]
+        outcome = integrated_estimate(values, key="total")
+        assert outcome["n"] == 2 and outcome["n_dropped"] == 1
+        assert outcome["total"] == 12.0
+
+    def test_dict_without_key_fails_fast(self):
+        with pytest.raises(ValidationError, match="pass the key"):
+            integrated_estimate([{"total": 5.0}])
+
+    def test_non_numeric_names_the_index(self):
+        with pytest.raises(ValidationError, match=r"values\[1\]"):
+            integrated_estimate([1.0, "oops"])
+
+    def test_registered_as_reduce(self):
+        assert op_info("integrated_estimate").kind == "reduce"
+
+
+class TestScalingFit:
+    def test_planted_power_law_recovered_exactly(self):
+        xs = list(np.logspace(0.0, 2.0, 25))
+        slope, amplitude = 1.75, 3.0
+        ys = [amplitude * x ** slope for x in xs]
+        fit = scaling_fit(xs, ys)
+        assert fit["slope"] == pytest.approx(slope, abs=1e-9)
+        assert fit["intercept"] == pytest.approx(np.log10(amplitude), abs=1e-9)
+        assert fit["scatter_dex"] == pytest.approx(0.0, abs=1e-9)
+        assert fit["r_squared"] == pytest.approx(1.0)
+        assert fit["n_used"] == 25 and fit["n_dropped"] == 0
+
+    def test_nonpositive_pairs_dropped_and_counted(self):
+        xs = [1.0, 10.0, -5.0, 100.0]
+        ys = [2.0, 20.0, 30.0, 200.0]
+        fit = scaling_fit(xs, ys)
+        assert fit["n_used"] == 3 and fit["n_dropped"] == 1
+        assert fit["slope"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError, match="paired"):
+            scaling_fit([1.0, 2.0], [1.0])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            scaling_fit([1.0, -1.0], [1.0, 1.0])
+
+    def test_key_extraction(self):
+        xs = [{"v": 1.0}, {"v": 10.0}]
+        ys = [5.0, 500.0]
+        fit = scaling_fit(xs, ys, x_key="v")
+        assert fit["slope"] == pytest.approx(2.0, abs=1e-9)
+
+
+class TestSampleStats:
+    def test_known_quartiles_and_outlier(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]
+        stats = sample_stats(values)
+        assert stats["n"] == 6
+        assert stats["q1"] == pytest.approx(2.25)
+        assert stats["median"] == pytest.approx(3.5)
+        assert stats["q3"] == pytest.approx(4.75)
+        assert stats["iqr"] == pytest.approx(2.5)
+        assert stats["outliers"] == [5]
+        assert stats["n_outliers"] == 1
+
+    def test_no_outliers_in_tight_sample(self):
+        stats = sample_stats([10.0, 11.0, 12.0, 13.0])
+        assert stats["outliers"] == []
+
+    def test_negative_fence_factor_rejected(self):
+        with pytest.raises(ValidationError, match="outlier_iqr"):
+            sample_stats([1.0, 2.0], outlier_iqr=-1.0)
+
+
+class TestZernike:
+    def test_radial_polynomial_closed_forms(self):
+        rho = np.linspace(0.0, 1.0, 11)
+        assert radial_polynomial(0, 0, rho) == pytest.approx(np.ones_like(rho))
+        assert radial_polynomial(1, 1, rho) == pytest.approx(rho)
+        assert radial_polynomial(2, 0, rho) == pytest.approx(2 * rho ** 2 - 1)
+        assert radial_polynomial(4, 0, rho) == pytest.approx(
+            6 * rho ** 4 - 6 * rho ** 2 + 1
+        )
+
+    def test_invalid_parity_rejected(self):
+        with pytest.raises(ValidationError):
+            radial_polynomial(2, 1, np.array([0.5]))
+
+    def test_c00_is_one_for_any_positive_image(self):
+        rng = np.random.default_rng(7)
+        image = rng.uniform(0.5, 2.0, size=(9, 9))
+        moments = {(m["n"], m["m"]): m for m in zernike_moments(image, n_max=2)}
+        assert moments[(0, 0)]["re"] == pytest.approx(1.0)
+        assert moments[(0, 0)]["im"] == pytest.approx(0.0)
+
+    def test_center_point_source_goldens(self):
+        image = np.zeros((11, 11))
+        image[5, 5] = 42.0  # all weight at rho = 0
+        moments = {(m["n"], m["m"]): m for m in zernike_moments(image, n_max=4)}
+        # c_{n,0} = (n+1) * R_n^0(0): R_2^0(0) = -1, R_4^0(0) = +1
+        assert moments[(2, 0)]["re"] == pytest.approx(-3.0)
+        assert moments[(4, 0)]["re"] == pytest.approx(5.0)
+        assert moments[(2, 2)]["abs"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric_phantom_odd_moments_vanish(self):
+        # centered Gaussian on an odd grid: fully symmetric under the
+        # dihedral group, so every m in {1, 2, 3} moment cancels exactly
+        rows, cols = np.mgrid[0:13, 0:13]
+        r2 = (rows - 6.0) ** 2 + (cols - 6.0) ** 2
+        image = np.exp(-r2 / 8.0)
+        moments = zernike_moments(image, n_max=4)
+        for moment in moments:
+            if moment["m"] in (1, 2, 3):
+                assert moment["abs"] == pytest.approx(0.0, abs=1e-12), moment
+
+    def test_asymmetric_image_flags_m2(self):
+        image = np.zeros((11, 11))
+        image[5, 5] = 1.0
+        image[5, 8] = 5.0  # an off-center lump breaks azimuthal symmetry
+        moments = {(m["n"], m["m"]): m for m in zernike_moments(image, n_max=2)}
+        assert moments[(2, 2)]["abs"] > 0.1
+
+    def test_input_validation(self):
+        with pytest.raises(ValidationError):
+            zernike_moments(np.zeros((4, 4)))  # zero total
+        with pytest.raises(ValidationError):
+            zernike_moments(np.full((4, 4), -1.0))  # negative values
+        with pytest.raises(ValidationError):
+            zernike_moments(np.ones(16))  # not 2-D
+
+
+# --------------------------------------------------------------------------- #
+class TestPlantedSlopeAcceptance:
+    """The acceptance gate: a planted scaling slope recovered over 100+ runs.
+
+    Each synthetic run scales the two detector halves independently — the
+    reconstruction is per-pixel linear, so the halves stay independent
+    through the full pipeline: ``left_total`` carries the planted x and
+    ``right_total`` carries ``A * x ** S``.
+    """
+
+    SLOPE = 1.6
+    AMPLITUDE = 0.7
+    N_RUNS = 104
+
+    @pytest.fixture()
+    def half_total_ops(self):
+        @register_op("left_total", description="test: left-half integrated total")
+        def left_total(result):
+            image = np.asarray(result.data, dtype=np.float64).sum(axis=0)
+            return float(image[:, : image.shape[1] // 2].sum())
+
+        @register_op("right_total", description="test: right-half integrated total")
+        def right_total(result):
+            image = np.asarray(result.data, dtype=np.float64).sum(axis=0)
+            return float(image[:, image.shape[1] // 2:].sum())
+
+        yield
+        unregister_op("left_total")
+        unregister_op("right_total")
+
+    @pytest.fixture(scope="class")
+    def planted_runs(self, tmp_path_factory):
+        """100+ wire-scan files with the power law planted across halves."""
+        root = tmp_path_factory.mktemp("planted")
+        base, _source = make_point_source_stack(
+            depth=40.0, n_rows=6, n_cols=6, n_positions=41
+        )
+        split = base.images.shape[2] // 2
+        xs = np.logspace(0.0, 1.5, self.N_RUNS)
+        paths = []
+        for index, x in enumerate(xs):
+            images = base.images.copy()
+            images[:, :, :split] *= x
+            images[:, :, split:] *= self.AMPLITUDE * x ** self.SLOPE
+            scaled = dataclasses.replace(base, images=images)
+            path = root / f"run_{index:03d}.h5lite"
+            save_wire_scan(str(path), scaled)
+            paths.append(str(path))
+        return paths
+
+    def fit_graph(self):
+        return repro.graph(
+            {"name": "x", "op": "left_total"},
+            {"name": "y", "op": "right_total"},
+            {"name": "fit", "op": "scaling_fit", "inputs": ["x", "y"]},
+        )
+
+    def test_api_recovers_planted_slope(self, planted_runs, half_total_ops):
+        grid = repro.DepthGrid.from_range(0.0, 100.0, 20)
+        batch = repro.session(grid=grid).run_many(
+            planted_runs, analyze=self.fit_graph()
+        )
+        assert batch.n_ok == self.N_RUNS
+        fit = batch.analysis["fit"]
+        assert fit["n_used"] == self.N_RUNS
+        assert fit["slope"] == pytest.approx(self.SLOPE, abs=1e-6)
+        assert fit["r_squared"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_cli_recovers_planted_slope(self, planted_runs, half_total_ops,
+                                        tmp_path):
+        grid = repro.DepthGrid.from_range(0.0, 100.0, 20)
+        out_dir = tmp_path / "depth"
+        out_dir.mkdir()
+        batch = repro.session(grid=grid).run_many(planted_runs)
+        for index, item in enumerate(batch.succeeded):
+            item.run.save(str(out_dir / f"depth_{index:03d}.h5lite"))
+        specs = [json.dumps(spec) for spec in self.fit_graph().to_spec()]
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main_analyze([str(out_dir), "--graph"] + specs)
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        fit = [r for r in document["reduces"] if r["node"] == "fit"][0]
+        assert fit["error"] is None
+        assert fit["value"]["slope"] == pytest.approx(self.SLOPE, abs=1e-6)
