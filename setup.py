@@ -44,6 +44,7 @@ setup(
             "repro-benchmark = repro.cli:main_benchmark",
             "repro-bench = repro.cli:main_bench",
             "repro-serve = repro.cli:main_serve",
+            "repro-lint = repro.staticcheck.cli:main",
         ]
     },
 )

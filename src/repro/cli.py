@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Nine small tools mirror the original workflow:
+Ten small tools mirror the original workflow:
 
 ``repro-generate``
     Produce a synthetic wire-scan data set (h5lite file) with known ground
@@ -40,6 +40,12 @@ Nine small tools mirror the original workflow:
     fair priority queue, cache-first admission (single-flight collapsed),
     per-job timeouts/retries, graceful SIGTERM drain and a ``/metrics``
     endpoint.  See the README's *Serving* section.
+``repro-lint``
+    Run the project-invariant static analysis (registry contracts, async
+    purity, resource lifecycles, kernel determinism, type discipline, the
+    public-API snapshot).  Lives in :mod:`repro.staticcheck.cli` — a
+    development tool, deliberately not imported here so the runtime CLI
+    never pays for the linter.
 
 Everything routes through the ``repro.open()`` / ``repro.session()`` front
 door, so the CLI exercises exactly the code path library users get.

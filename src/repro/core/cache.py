@@ -576,7 +576,7 @@ class ResultCache:
             entries = keep
         if max_bytes is not None:
             total = sum(size for _mtime, size, _path in entries)
-            for mtime, size, path in entries:  # oldest first
+            for _mtime, size, path in entries:  # oldest first
                 if total <= int(max_bytes):
                     break
                 self._discard(path)

@@ -319,8 +319,8 @@ def open(
         Each element is opened recursively and the result is a flattened
         :class:`BatchSource`.
     """
-    geometry = dict(scan=scan, detector=detector, beam=beam,
-                    pixel_mask=pixel_mask, metadata=metadata)
+    geometry = {"scan": scan, "detector": detector, "beam": beam,
+                "pixel_mask": pixel_mask, "metadata": metadata}
     if isinstance(obj, np.ndarray):
         if scan is None or detector is None:
             raise ValidationError(

@@ -425,7 +425,8 @@ def _shared_pool_locked(n_workers: int, blas_threads: Optional[int] = 1) -> Work
     _register_atexit()
     blas = None if blas_threads is None else int(blas_threads)
     if _shared is None:
-        _shared = WorkerPool(int(n_workers), blas_threads=blas)
+        # process-lifetime pool: released by the atexit hook registered above
+        _shared = WorkerPool(int(n_workers), blas_threads=blas)  # repro-lint: ignore[resource-lifecycle]
     elif (
         _shared.max_workers != int(n_workers) or _shared.blas_threads != blas
     ) and _pins == 0:
@@ -433,7 +434,8 @@ def _shared_pool_locked(n_workers: int, blas_threads: Optional[int] = 1) -> Work
         # workers, nor surface a surprise CancelledError in a run that
         # is still draining its futures
         _shared.shutdown(wait=True)
-        _shared = WorkerPool(int(n_workers), blas_threads=blas)
+        # same process-lifetime ownership as the branch above
+        _shared = WorkerPool(int(n_workers), blas_threads=blas)  # repro-lint: ignore[resource-lifecycle]
     return _shared
 
 
@@ -624,7 +626,9 @@ class SlabArena:
             if bucket:
                 shm = bucket.pop()
             else:
-                shm = shared_memory.SharedMemory(create=True, size=int(nbytes))
+                # arena-tracked: release()/close() unlink it, and the atexit
+                # sweep in _close_open_arenas covers abandoned arenas
+                shm = shared_memory.SharedMemory(create=True, size=int(nbytes))  # repro-lint: ignore[resource-lifecycle]
                 self.n_created += 1
                 self.created_names.append(shm.name)
                 self._size_of[shm.name] = int(nbytes)

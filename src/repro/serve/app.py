@@ -428,7 +428,9 @@ class ReproServer:
                 self._fail_job(job, f"timed out after {timeout:.1f}s")
                 return
             try:
-                outcome = done.pop().result()
+                # the future is in asyncio.wait's done set: result() returns
+                # immediately, it cannot block the loop here
+                outcome = done.pop().result()  # repro-lint: ignore[async-purity]
             except BrokenExecutor as exc:
                 # a worker process died under the job; the pool respawns
                 # itself, the job gets a bounded number of fresh attempts

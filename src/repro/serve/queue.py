@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import heapq
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.serve.jobs import Job, JobState
 
@@ -59,8 +59,10 @@ class FairPriorityQueue:
         self._pending_per_client: Dict[str, int] = defaultdict(int)
         self._live = 0
         # created lazily on the loop: on 3.9 an Event binds its loop at
-        # construction, and the queue is built before the daemon's loop runs
-        self._not_empty: "asyncio.Event" = None  # type: ignore[assignment]
+        # construction, and the queue is built before the daemon's loop runs;
+        # the annotation is honest about that window — only _wakeup() may
+        # touch this attribute, and it narrows the Optional away
+        self._not_empty: Optional[asyncio.Event] = None
         #: lifetime counters (metrics)
         self.n_enqueued = 0
         self.n_rejected = 0
@@ -87,9 +89,10 @@ class FairPriorityQueue:
         self._wakeup().set()
 
     def _wakeup(self) -> asyncio.Event:
-        if self._not_empty is None:
-            self._not_empty = asyncio.Event()
-        return self._not_empty
+        event = self._not_empty
+        if event is None:
+            event = self._not_empty = asyncio.Event()
+        return event
 
     async def get(self) -> Job:
         """The next live job in ``(priority, fairness rank, seq)`` order."""

@@ -1,0 +1,6 @@
+"""``python -m repro.staticcheck`` — same body as the ``repro-lint`` entry."""
+
+from repro.staticcheck.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

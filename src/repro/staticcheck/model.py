@@ -1,0 +1,244 @@
+"""The data model of ``repro-lint``: findings, contexts, suppressions.
+
+A **finding** is one violation of one rule at one source location.  Rules
+produce findings with only the location and message filled in; the engine
+stamps the rule id, severity and file path so a rule can never misreport
+its own identity.
+
+A **module context** wraps one parsed source file: the AST, the raw lines,
+a lazily-built child→parent map (rules frequently need to ask "is this call
+inside a ``with`` item / a ``try`` body / a function?") and the parsed
+suppression table.
+
+Suppressions use the comment syntax::
+
+    shm = SharedMemory(create=True, size=n)  # repro-lint: ignore[resource-lifecycle]
+
+    # repro-lint: ignore[async-purity]  (standalone: applies to the next line)
+    outcome = done.pop().result()
+
+``ignore`` with no bracket silences every rule on that line;
+``ignore[a,b]`` silences exactly the named rules.  Comments are located
+with :mod:`tokenize`, so the marker inside a string literal never
+suppresses anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "parse_suppressions",
+]
+
+#: Recognised severities, most severe first (report ordering + gating).
+SEVERITIES = ("error", "warning", "info")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-\s,]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Rules construct findings with ``line``/``col``/``message`` (usually via
+    :meth:`ModuleContext.finding`); the engine stamps ``rule``, ``severity``
+    and ``path`` from the registry entry and the file being linted, and
+    flips ``suppressed`` when a suppression comment covers the line.
+    """
+
+    message: str
+    line: int = 0
+    col: int = 0
+    rule: str = ""
+    severity: str = "error"
+    path: str = ""
+    suppressed: bool = False
+
+    def stamped(self, *, rule: str, severity: str, path: str) -> "Finding":
+        """A copy carrying the engine-assigned identity fields."""
+        return replace(self, rule=rule, severity=severity, path=path)
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record (the ``--format json`` findings schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line:col: severity[rule] message``."""
+        location = f"{self.path}:{self.line}:{self.col}"
+        tag = f"{self.severity}[{self.rule}]"
+        note = " (suppressed)" if self.suppressed else ""
+        return f"{location}: {tag}{note} {self.message}"
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number → suppressed rule ids (``None`` means *all* rules).
+
+    A suppression comment sharing a line with code covers that line; a
+    standalone comment line covers the **next** line (the conventional
+    place for a suppression that would not fit inline).  Tokenization
+    failures (the engine reports syntax errors separately) yield an empty
+    table rather than raising.
+    """
+    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        names = match.group("rules")
+        rules: Optional[FrozenSet[str]] = None
+        if names is not None:
+            rules = frozenset(part.strip() for part in names.split(",") if part.strip())
+        line = token.start[0]
+        text = lines[line - 1] if line - 1 < len(lines) else ""
+        if text.lstrip().startswith("#"):
+            line += 1  # standalone comment: covers the next line
+        existing = table.get(line, frozenset())
+        if rules is None or existing is None:
+            table[line] = None
+        else:
+            table[line] = existing | rules
+    return table
+
+
+class ModuleContext:
+    """One parsed source file handed to every module-scope rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: forward-slash path for rule path-matching, independent of OS
+        self.posix_path = path.replace("\\", "/")
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._imports: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------ #
+    def finding(self, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at *node* (rule identity stamped by the engine)."""
+        return Finding(
+            message=message,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+        )
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when a suppression comment covers *rule* on *line*."""
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child → parent map over the whole tree (built once, lazily)."""
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestors, nearest first, up to the module."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_function(self, node: ast.AST):
+        """The nearest enclosing function def, or ``None`` at module scope."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local name → dotted origin for every module-level-visible import.
+
+        ``import numpy as np`` maps ``np → numpy``; ``from time import
+        sleep as snooze`` maps ``snooze → time.sleep``.  Imports anywhere
+        in the file are collected (function-local imports included) — for
+        lint purposes a name's origin is what matters, not its scope.
+        """
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        origin = alias.name if alias.asname else alias.name.split(".")[0]
+                        table[local] = origin
+                elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted origin string.
+
+        ``np.random.shuffle`` with ``import numpy as np`` resolves to
+        ``numpy.random.shuffle``; a bare builtin like ``open`` resolves to
+        ``"open"``.  Returns ``None`` for non-name expressions (calls,
+        subscripts, ...).
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class ProjectContext:
+    """What project-scope rules (``api-snapshot``) see: the whole lint run."""
+
+    #: the paths handed to the engine, as given
+    paths: List[str] = field(default_factory=list)
+    #: every successfully parsed module in the run
+    modules: List[ModuleContext] = field(default_factory=list)
+    #: engine options relevant to project rules (e.g. ``snapshot_path``)
+    options: Dict[str, object] = field(default_factory=dict)

@@ -1,0 +1,200 @@
+"""The lint-rule registry: rules are plugins, exactly like backends and ops.
+
+This mirrors :mod:`repro.core.registry` deliberately — one project, one
+plugin idiom.  A rule registers under a kebab-case id with a severity and
+scope::
+
+    from repro.staticcheck.registry import register_rule
+
+    @register_rule("my-rule", severity="warning", description="what it guards")
+    def check_my_rule(ctx):            # ctx: ModuleContext
+        for node in ast.walk(ctx.tree):
+            ...
+            yield ctx.finding(node, "explain the contract that broke")
+
+and from then on resolves everywhere built-ins do: ``repro-lint --rules``,
+``--list-rules`` and the engine's default full set.  ``scope="project"``
+rules run once per lint invocation with a
+:class:`~repro.staticcheck.model.ProjectContext` instead of once per module
+(the API-snapshot check is the canonical example: its unit of analysis is
+the package surface, not a file).
+
+Unknown rule ids fail fast with a did-you-mean suggestion, duplicate
+registrations are rejected unless ``replace=True`` — the same contracts the
+backend registry enforces, now applied to the tool that enforces contracts.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.staticcheck.model import SEVERITIES
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "RuleInfo",
+    "register_rule",
+    "register_rule_info",
+    "unregister_rule",
+    "rule_info",
+    "available_rules",
+    "rules",
+]
+
+_RULES: Dict[str, "RuleInfo"] = {}
+_BUILTINS_LOADED = False
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry: a lint rule plus its declared metadata.
+
+    Parameters
+    ----------
+    id:
+        Kebab-case rule id (what suppression comments and ``--rules`` name).
+    func:
+        ``func(ModuleContext) -> Iterable[Finding]`` for module-scope rules;
+        ``func(ProjectContext) -> Iterable[Finding]`` for project-scope ones.
+    severity:
+        ``"error"`` | ``"warning"`` | ``"info"`` — stamped onto every
+        finding the rule yields.
+    description:
+        One-line human description for ``repro-lint --list-rules``.
+    scope:
+        ``"module"`` (run per parsed file) or ``"project"`` (run once per
+        lint invocation).
+    """
+
+    id: str
+    func: Callable
+    severity: str = "error"
+    description: str = ""
+    scope: str = "module"
+
+    @property
+    def module(self) -> str:
+        """Module the rule is defined in (provenance/CLI)."""
+        return getattr(self.func, "__module__", "?")
+
+    def to_dict(self) -> Dict:
+        """JSON-safe summary (the ``--list-rules --format json`` payload)."""
+        return {
+            "id": self.id,
+            "severity": self.severity,
+            "scope": self.scope,
+            "module": self.module,
+            "description": self.description,
+        }
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the built-in rules package once, registering its rules."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.staticcheck.rules  # noqa: F401  (registers the built-ins)
+
+
+def register_rule_info(info: RuleInfo, replace: bool = False) -> RuleInfo:
+    """Add a fully-built :class:`RuleInfo` to the registry."""
+    if not info.id:
+        raise ValidationError("rule registration requires a non-empty id")
+    if not callable(info.func):
+        raise ValidationError(f"rule {info.id!r} must be callable")
+    if info.severity not in SEVERITIES:
+        raise ValidationError(
+            f"rule {info.id!r} severity must be one of {list(SEVERITIES)}, "
+            f"got {info.severity!r}"
+        )
+    if info.scope not in ("module", "project"):
+        raise ValidationError(
+            f"rule {info.id!r} scope must be 'module' or 'project', got {info.scope!r}"
+        )
+    if not replace and info.id in _RULES:
+        raise ValidationError(
+            f"rule {info.id!r} is already registered (by {_RULES[info.id].module}); "
+            "pass replace=True to override"
+        )
+    _RULES[info.id] = info
+    return info
+
+
+def register_rule(
+    rule_id: Optional[str] = None,
+    *,
+    severity: str = "error",
+    description: str = "",
+    scope: str = "module",
+    replace: bool = False,
+):
+    """Function decorator registering a lint rule under *rule_id*.
+
+    Two forms are accepted, mirroring :func:`repro.core.registry
+    .register_backend`::
+
+        @register_rule("async-purity", severity="error")
+        def check_async_purity(ctx): ...
+
+        @register_rule                  # the function's name becomes the id
+        def my_rule(ctx): ...
+    """
+
+    def decorate(func, name):
+        about = description
+        if not about and func.__doc__:
+            about = func.__doc__.strip().splitlines()[0]
+        register_rule_info(
+            RuleInfo(id=name, func=func, severity=severity,
+                     description=about, scope=scope),
+            replace=replace,
+        )
+        return func
+
+    if callable(rule_id):  # bare @register_rule on a function
+        func = rule_id
+        return decorate(func, func.__name__.replace("_", "-"))
+    return lambda func: decorate(func, rule_id or func.__name__.replace("_", "-"))
+
+
+def unregister_rule(rule_id: str) -> RuleInfo:
+    """Remove a rule from the registry, returning its entry (plugin teardown)."""
+    _ensure_builtin_rules()
+    info = _RULES.pop(rule_id, None)
+    if info is None:
+        raise ValidationError(f"cannot unregister unknown rule {rule_id!r}")
+    return info
+
+
+def rule_info(rule_id: str) -> RuleInfo:
+    """Look up a rule's registry entry, failing fast with a suggestion."""
+    _ensure_builtin_rules()
+    try:
+        return _RULES[str(rule_id)]
+    except KeyError:
+        known = sorted(_RULES)
+        message = f"unknown lint rule {rule_id!r}; available: {known}"
+        close = difflib.get_close_matches(str(rule_id), known, n=1)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise ValidationError(message) from None
+
+
+def available_rules() -> List[str]:
+    """Ids of all registered rules, sorted."""
+    _ensure_builtin_rules()
+    return sorted(_RULES)
+
+
+def rules(rule_id: Optional[str] = None):
+    """Introspect the rule registry.
+
+    With no argument, return every :class:`RuleInfo` sorted by id; with an
+    id, return that single entry.
+    """
+    if rule_id is not None:
+        return rule_info(rule_id)
+    _ensure_builtin_rules()
+    return [_RULES[key] for key in sorted(_RULES)]

@@ -1,0 +1,15 @@
+"""Built-in lint rules, registered on import (mirrors ``core.backends``).
+
+Each module registers one rule grounded in a real defect class from this
+repository's history; see the individual modules and the README's
+*Static analysis & code contracts* table.
+"""
+
+from repro.staticcheck.rules import (  # noqa: F401  (import = registration)
+    api_snapshot,
+    async_purity,
+    kernel_determinism,
+    registry_contract,
+    resource_lifecycle,
+    type_discipline,
+)

@@ -1,0 +1,41 @@
+"""``api-snapshot``: the public surface of ``repro`` may not drift silently.
+
+Project-scope rule (runs once per lint invocation, not per file).  It
+introspects the live package — everything in ``repro.__all__`` plus
+``repro.open`` — and compares kinds, signatures, public methods,
+properties and deprecation status against the checked-in
+``api_snapshot.json``.  Every mismatch becomes one gating finding.
+
+A finding here is a forced declaration, not a prohibition: either the
+surface change was accidental (revert it) or intentional (run
+``repro-lint --write-snapshot`` and commit the regenerated snapshot in the
+same change, which makes the API delta reviewable as a diff).
+
+The rule only runs when the engine was given a snapshot path — fixture
+runs in the test suite lint loose files with no package surface in play.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.apisnapshot import check_snapshot
+from repro.staticcheck.model import Finding, ProjectContext
+from repro.staticcheck.registry import register_rule
+
+
+@register_rule(
+    "api-snapshot",
+    severity="error",
+    scope="project",
+    description="the public surface of repro must match the checked-in "
+                "api_snapshot.json (regenerate with --write-snapshot)",
+)
+def check_api_snapshot(project: ProjectContext) -> Iterator[Finding]:
+    """Undeclared public-API drift fails the lint run."""
+    snapshot_path = project.options.get("snapshot_path")
+    if not snapshot_path:
+        return
+    drifts, _present = check_snapshot(str(snapshot_path))
+    for message in drifts:
+        yield Finding(message=message, line=1, col=0, path=str(snapshot_path))

@@ -1,0 +1,106 @@
+"""``async-purity``: nothing may block the event loop inside ``async def``.
+
+The serve daemon's whole design rests on one sentence from its module
+docstring: *the loop only routes, queues and accounts*.  Admission probes
+and computations go to executors; the handlers themselves must never
+perform blocking work, because one blocked handler stalls every connected
+client at once.  This rule enforces the known blocking families inside
+``async def`` bodies:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* synchronous file I/O via the builtin ``open`` (read on an executor);
+* synchronous networking — ``http.client``, ``urllib.request.urlopen``,
+  ``socket.create_connection`` and friends;
+* subprocess and shell execution (``subprocess.run``, ``os.system``, ...);
+* ``Future.result()`` / ``Executor.submit(...).result()`` without an
+  ``await`` — the one legitimate case (reading a future that
+  ``asyncio.wait`` already reported done) carries an explicit suppression
+  in :mod:`repro.serve.app`, which is the point: blocking on the loop is
+  always a reviewed decision, never an accident.
+
+Nested ``def``s inside an async body are skipped (they only *define*
+code), and nested ``async def``s are visited as their own async contexts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import Finding, ModuleContext
+from repro.staticcheck.registry import register_rule
+
+#: dotted origin → why it blocks / what to do instead
+_BLOCKING_CALLS = {
+    "time.sleep": "blocks the loop; use `await asyncio.sleep(...)`",
+    "open": "synchronous file I/O blocks the loop; run it on an executor",
+    "io.open": "synchronous file I/O blocks the loop; run it on an executor",
+    "urllib.request.urlopen": "synchronous HTTP blocks the loop; use an executor",
+    "socket.create_connection": "synchronous connect blocks the loop",
+    "socket.getaddrinfo": "synchronous DNS resolution blocks the loop",
+    "subprocess.run": "blocks the loop; use asyncio.create_subprocess_exec",
+    "subprocess.call": "blocks the loop; use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "blocks the loop; use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "blocks the loop; use asyncio.create_subprocess_exec",
+    "os.system": "blocks the loop; use asyncio.create_subprocess_shell",
+    "os.wait": "blocks the loop",
+}
+
+#: any call resolving under these prefixes is synchronous networking
+_BLOCKING_PREFIXES = ("http.client.",)
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk the async body without descending into nested function defs."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # separate execution context (nested async defs are
+            # visited by the outer walk as their own contexts)
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule(
+    "async-purity",
+    severity="error",
+    description="no blocking calls (sleep, sync I/O, http.client, "
+                "Future.result without await) inside async def bodies",
+)
+def check_async_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    """Async handlers must not block the event loop."""
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _async_body_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is not None:
+                reason = _BLOCKING_CALLS.get(dotted)
+                if reason is None and any(
+                    dotted.startswith(prefix) for prefix in _BLOCKING_PREFIXES
+                ):
+                    reason = "synchronous networking blocks the loop; use an executor"
+                if reason is not None:
+                    yield ctx.finding(
+                        node,
+                        f"blocking call `{dotted}` inside `async def "
+                        f"{func.name}`: {reason}",
+                    )
+                    continue
+            # method calls: flag zero-argument .result() — an Executor /
+            # concurrent.futures Future read that parks the whole loop
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result"
+                and not node.args
+                and not node.keywords
+            ):
+                yield ctx.finding(
+                    node,
+                    f"`.result()` inside `async def {func.name}` blocks the "
+                    "event loop until the future resolves; await the future "
+                    "(or prove it is already done and suppress)",
+                )

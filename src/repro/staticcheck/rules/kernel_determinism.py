@@ -1,0 +1,129 @@
+"""``kernel-determinism``: numerical kernels must be bitwise-reproducible.
+
+Every benchmark gate in this repository (streamed-vs-in-memory, cache
+hits, fused-vs-scalar kernels, linear-vs-DAG analysis) asserts *bitwise*
+identity, and the content-addressed cache serves results keyed on inputs
+alone — one hidden source of nondeterminism in a kernel silently poisons
+all of it.  Modules under ``core/kernels`` and
+``analysisgraph/science_ops`` (plus the Zernike basis they share) may not:
+
+* read clocks (``time.time``/``perf_counter``/``datetime.now`` ...) —
+  timing lives in :mod:`repro.perf`, outside the numerical path;
+* draw randomness without explicit seed plumbing — ``random.*`` and
+  ``numpy.random.*`` are banned except ``numpy.random.default_rng(seed)``
+  called with an explicit seed argument;
+* read ambient configuration (``os.environ`` / ``os.getenv``) — kernel
+  behaviour must be a function of its arguments, never of the shell;
+* iterate a ``set`` (literal, comprehension or ``set()``/``frozenset()``
+  call) in a loop or comprehension — set order varies with hash
+  randomization, and feeding unordered elements into float accumulation
+  changes the rounding sequence from run to run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.staticcheck.model import Finding, ModuleContext
+from repro.staticcheck.registry import register_rule
+
+#: path fragments selecting the modules this rule governs
+_TARGET_FRAGMENTS = (
+    "core/kernels",
+    "analysisgraph/science_ops",
+    "analysisgraph/zernike",
+)
+
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENV_READS = {"os.environ", "os.getenv"}
+
+
+def _is_target_module(ctx: ModuleContext) -> bool:
+    path = ctx.posix_path
+    return any(fragment in path for fragment in _TARGET_FRAGMENTS)
+
+
+def _set_expression(ctx: ModuleContext, node: ast.AST) -> Optional[str]:
+    """A human name for *node* when it produces a set, else ``None``."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        dotted = ctx.dotted_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return f"a {dotted}() call"
+    return None
+
+
+@register_rule(
+    "kernel-determinism",
+    severity="error",
+    description="kernel/science-op modules may not read clocks, env vars, "
+                "unseeded RNGs, or iterate sets into accumulations",
+)
+def check_kernel_determinism(ctx: ModuleContext) -> Iterator[Finding]:
+    """Numerical kernels must be pure functions of their arguments."""
+    if not _is_target_module(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = ctx.dotted_name(node)
+            if dotted in _ENV_READS:
+                parent = ctx.parents.get(node)
+                if isinstance(parent, ast.Attribute):
+                    continue  # inner segment of a longer chain, handled there
+                yield ctx.finding(
+                    node,
+                    f"`{dotted}` read inside a deterministic kernel module: "
+                    "kernel behaviour must depend only on explicit arguments, "
+                    "never on ambient environment",
+                )
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    f"clock read `{dotted}` inside a deterministic kernel "
+                    "module; timing belongs in repro.perf, outside the "
+                    "numerical path",
+                )
+            elif dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node,
+                        "`numpy.random.default_rng()` without an explicit "
+                        "seed argument: entropy-seeded RNGs break bitwise "
+                        "reproducibility — plumb the seed through the config",
+                    )
+            elif dotted.startswith("numpy.random.") or dotted == "random" or dotted.startswith("random."):
+                yield ctx.finding(
+                    node,
+                    f"`{dotted}` inside a deterministic kernel module; the "
+                    "only sanctioned randomness is numpy.random.default_rng "
+                    "with an explicitly plumbed seed",
+                )
+        iter_sources = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_sources.append(node.iter)
+        elif isinstance(node, ast.comprehension):
+            iter_sources.append(node.iter)
+        for source in iter_sources:
+            described = _set_expression(ctx, source)
+            if described is not None:
+                yield ctx.finding(
+                    source,
+                    f"iterating {described} in a kernel module: set order "
+                    "varies with hash randomization, so float accumulation "
+                    "over it is not bitwise-reproducible — sort it or use a "
+                    "tuple/list",
+                )

@@ -1,0 +1,86 @@
+"""``type-discipline``: no ``x: T = None`` smuggled past the type checker.
+
+The pattern this rule exists for shipped in PR 7's queue::
+
+    self._not_empty: "asyncio.Event" = None  # type: ignore[assignment]
+
+The annotation promises an ``Event``, the value is ``None``, and the
+``type: ignore`` makes the checker stop looking — so every later
+``self._not_empty.wait()`` is unchecked against the ``None`` case.  The
+honest spelling is a typed lazy initializer: annotate
+``Optional[asyncio.Event]`` and narrow through an accessor that creates
+the value on first use (see ``FairPriorityQueue._wakeup``).
+
+Two shapes are flagged:
+
+* an annotated assignment of ``None`` whose annotation is not an
+  optional-ish type (``Optional[...]``, ``... | None``, ``Any``,
+  ``object``), with or without the ignore comment;
+* any assignment of ``None`` silenced with ``# type: ignore`` — silencing
+  an assignment error instead of widening the annotation inverts the
+  point of having annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import Finding, ModuleContext
+from repro.staticcheck.registry import register_rule
+
+_OPTIONALISH = ("Optional", "None", "Any", "object")
+
+
+def _annotation_text(ctx: ModuleContext, node: ast.AST) -> str:
+    annotation = node
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value  # string annotation
+    try:
+        return ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return ""
+
+
+def _allows_none(text: str) -> bool:
+    return any(marker in text for marker in _OPTIONALISH)
+
+
+def _line_has_ignore(ctx: ModuleContext, lineno: int) -> bool:
+    line = ctx.lines[lineno - 1] if lineno - 1 < len(ctx.lines) else ""
+    return "type: ignore" in line
+
+
+@register_rule(
+    "type-discipline",
+    severity="error",
+    description="None assigned to a non-Optional annotation (or silenced with "
+                "type: ignore) — use a typed lazy initializer instead",
+)
+def check_type_discipline(ctx: ModuleContext) -> Iterator[Finding]:
+    """Annotations must tell the truth about None."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.AnnAssign):
+            if not (isinstance(node.value, ast.Constant) and node.value.value is None):
+                continue
+            text = _annotation_text(ctx, node.annotation)
+            if _allows_none(text):
+                continue
+            yield ctx.finding(
+                node,
+                f"annotation `{text}` assigned None"
+                + (" and silenced with `type: ignore`"
+                   if _line_has_ignore(ctx, node.lineno) else "")
+                + "; declare it Optional[...] and narrow behind a typed "
+                  "lazy initializer (the FairPriorityQueue._wakeup idiom)",
+            )
+        elif isinstance(node, ast.Assign):
+            if not (isinstance(node.value, ast.Constant) and node.value.value is None):
+                continue
+            if _line_has_ignore(ctx, node.lineno):
+                yield ctx.finding(
+                    node,
+                    "None assignment silenced with `type: ignore`; widen the "
+                    "declared type to Optional[...] instead of blinding the "
+                    "checker to every later use",
+                )

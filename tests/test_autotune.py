@@ -35,14 +35,14 @@ def grid():
 
 
 def _decision(**overrides):
-    defaults = dict(
-        executor="threads",
-        n_workers=4,
-        min_elements_per_dispatch=12345,
-        reason="test decision",
-        machine=machine_fingerprint(),
-        workload=workload_signature(41, 8, 8, 25),
-    )
+    defaults = {
+        "executor": "threads",
+        "n_workers": 4,
+        "min_elements_per_dispatch": 12345,
+        "reason": "test decision",
+        "machine": machine_fingerprint(),
+        "workload": workload_signature(41, 8, 8, 25),
+    }
     defaults.update(overrides)
     return TuningDecision(**defaults)
 

@@ -13,6 +13,7 @@ from repro.core.config import ReconstructionConfig
 from repro.core.pipeline import reconstruct_file
 from repro.core.reconstruction import DepthReconstructor
 from repro.core.session import session
+from repro.io.h5lite import H5LiteError
 from repro.io.image_stack import load_depth_resolved, save_wire_scan
 from repro.io.text_output import read_depth_profiles
 from repro.utils.validation import ValidationError
@@ -154,5 +155,5 @@ class TestPipelineShims:
     def test_missing_input_raises(self, depth_grid, tmp_path):
         config = ReconstructionConfig(grid=depth_grid)
         with pytest.warns(DeprecationWarning, match="reconstruct_file"):
-            with pytest.raises(Exception):
+            with pytest.raises(H5LiteError):
                 reconstruct_file(str(tmp_path / "nope.h5lite"), config)

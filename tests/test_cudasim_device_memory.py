@@ -5,6 +5,7 @@ import pytest
 
 from repro.cudasim.device import Device, DeviceProperties, GENERIC_LAPTOP_GPU, TESLA_M2070
 from repro.cudasim.errors import DeviceMemoryError, InvalidBufferError, LaunchConfigError
+from repro.utils.validation import ValidationError
 
 
 class TestDeviceProperties:
@@ -22,7 +23,7 @@ class TestDeviceProperties:
         assert model.pcie_bandwidth == TESLA_M2070.pcie_bandwidth
 
     def test_invalid_properties_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             DeviceProperties(total_memory_bytes=0)
 
 

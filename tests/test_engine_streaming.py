@@ -291,11 +291,11 @@ class TestMultiprocessParallel:
         shutdown_shared_pool()
 
     def _config(self, **overrides):
-        base = dict(
-            grid=DepthGrid.from_range(0.0, 100.0, 14),
-            backend="multiprocess",
-            n_workers=2,
-        )
+        base = {
+            "grid": DepthGrid.from_range(0.0, 100.0, 14),
+            "backend": "multiprocess",
+            "n_workers": 2,
+        }
         base.update(overrides)
         return ReconstructionConfig(**base)
 

@@ -24,7 +24,7 @@ from repro.io.h5lite import H5LiteFile
 from repro.utils.arrays import chunk_ranges, ravel_index_3d, unravel_index_3d
 
 # keep hypothesis fast and deterministic enough for CI-style runs
-COMMON_SETTINGS = dict(max_examples=60, deadline=None)
+COMMON_SETTINGS = {"max_examples": 60, "deadline": None}
 
 
 # --------------------------------------------------------------------------- #

@@ -222,7 +222,7 @@ class TestParseSubmission:
             parse_submission({"source": {"path": source_file}, "config": {"backend": "nope"}})
 
     def test_unknown_analysis_op_rejected_at_admission(self, source_file, config_dict):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             parse_submission({
                 "source": {"path": source_file},
                 "config": config_dict,
