@@ -2,7 +2,10 @@
 
 Makes the ``src`` layout importable even when the package has not been
 installed (useful in offline environments where ``pip install -e .`` cannot
-build an editable wheel).
+build an editable wheel), and installs the runtime race sanitizer when the
+``REPRO_RACE_SANITIZER=1`` lane is active — instrumentation must happen in
+``pytest_configure``, before any test module imports (and thereby
+instantiates) the lock-owning shared classes.
 """
 
 import os
@@ -11,3 +14,13 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    from repro.staticcheck import sanitizer
+
+    if sanitizer.enabled():
+        names = sanitizer.install()
+        sys.stderr.write(
+            "repro race sanitizer: instrumented " + ", ".join(names) + "\n"
+        )

@@ -147,6 +147,9 @@ class ResultCache:
 
     def __init__(self, root: Optional[str] = None):
         self.root = str(root) if root is not None else default_cache_root()
+        #: guards the probe counters — one cache object is probed from the
+        #: serve daemon's admission/compute executors and the analysisgraph
+        #: pool concurrently, and `+=` is not atomic across threads
         self._lock = threading.Lock()
         #: probe counters for this cache object's lifetime (CLI + tests)
         self.n_hits = 0
@@ -284,7 +287,8 @@ class ResultCache:
         try:
             before = os.stat(path)
         except OSError:
-            self.n_misses += 1
+            with self._lock:
+                self.n_misses += 1
             return None
         try:
             stack, record = load_run_payload(path)
@@ -306,8 +310,9 @@ class ResultCache:
                 "cache: repairing unusable entry %s (%s: %s)", path, type(exc).__name__, exc
             )
             self._discard_if_unchanged(path, before)
-            self.n_misses += 1
-            self.n_repaired += 1
+            with self._lock:
+                self.n_misses += 1
+                self.n_repaired += 1
             return None
         # the entry path is cache internals, not a user output; hits look
         # exactly like the cold run they replace (output_path=None until the
@@ -321,7 +326,8 @@ class ResultCache:
             digest=stored_digest,
         )
         run.bind_cache(self)
-        self.n_hits += 1
+        with self._lock:
+            self.n_hits += 1
         return run
 
     def put(self, key: str, run) -> Optional[CacheStats]:
@@ -361,7 +367,8 @@ class ResultCache:
                 path, type(exc).__name__, exc,
             )
             return None
-        self.n_stores += 1
+        with self._lock:
+            self.n_stores += 1
         _LOG.debug("cache: stored %s", path)
         stats = CacheStats(
             key=key, hit=False, path=path, stored_unix=stored_unix, digest=digest
@@ -396,13 +403,16 @@ class ResultCache:
                     results=list(document["results"]),
                     run=document["provenance"].get("run"),
                 )
-                self.n_hits += 1
+                with self._lock:
+                    self.n_hits += 1
                 return outcome
             except (ValueError, KeyError, TypeError, OSError) as exc:
                 _LOG.warning("cache: repairing unusable analysis memo %s (%s)", path, exc)
                 self._discard(path)
-                self.n_repaired += 1
-        self.n_misses += 1
+                with self._lock:
+                    self.n_repaired += 1
+        with self._lock:
+            self.n_misses += 1
         outcome = pipeline.apply(run)
         document = json.dumps(outcome.to_dict(), sort_keys=True, indent=2)
 
@@ -418,7 +428,8 @@ class ResultCache:
                 path, type(exc).__name__, exc,
             )
             return outcome
-        self.n_stores += 1
+        with self._lock:
+            self.n_stores += 1
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -444,7 +455,8 @@ class ResultCache:
         """
         path = self._analysis_path(memo_key)
         if not os.path.isfile(path):
-            self.n_misses += 1
+            with self._lock:
+                self.n_misses += 1
             return None
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -452,13 +464,15 @@ class ResultCache:
             if not isinstance(document, dict) or document.get("kind") != "node_memo" \
                     or "value" not in document:
                 raise ValueError("not a node-memo document")
-            self.n_hits += 1
+            with self._lock:
+                self.n_hits += 1
             return document
         except (ValueError, KeyError, TypeError, OSError) as exc:
             _LOG.warning("cache: repairing unusable node memo %s (%s)", path, exc)
             self._discard(path)
-            self.n_repaired += 1
-            self.n_misses += 1
+            with self._lock:
+                self.n_repaired += 1
+                self.n_misses += 1
             return None
 
     def memo_put(self, memo_key: str, document: Dict) -> bool:
@@ -485,7 +499,8 @@ class ResultCache:
                 path, type(exc).__name__, exc,
             )
             return False
-        self.n_stores += 1
+        with self._lock:
+            self.n_stores += 1
         return True
 
     # ------------------------------------------------------------------ #
@@ -499,14 +514,17 @@ class ResultCache:
         attributes one by one.  ``hit_rate`` is derived over every probe this
         object ever made (``None`` before the first probe).
         """
-        probes = self.n_hits + self.n_misses
+        with self._lock:  # one coherent snapshot, not four racing reads
+            hits, misses = self.n_hits, self.n_misses
+            stores, repaired = self.n_stores, self.n_repaired
+        probes = hits + misses
         return {
-            "hits": self.n_hits,
-            "misses": self.n_misses,
-            "stores": self.n_stores,
-            "repaired": self.n_repaired,
+            "hits": hits,
+            "misses": misses,
+            "stores": stores,
+            "repaired": repaired,
             "probes": probes,
-            "hit_rate": (self.n_hits / probes) if probes else None,
+            "hit_rate": (hits / probes) if probes else None,
         }
 
     def stats(self) -> Dict:
@@ -620,7 +638,8 @@ class ResultCache:
                     raise ValueError("missing results/provenance blocks")
             except (ValueError, OSError):
                 self._discard(path)
-                self.n_repaired += 1
+                with self._lock:
+                    self.n_repaired += 1
                 repaired.append(path)
         return {"checked": checked, "n_repaired": len(repaired), "repaired": repaired}
 

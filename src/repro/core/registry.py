@@ -107,6 +107,10 @@ def _ensure_builtin_backends() -> None:
     """Import the built-in backend package once, registering its backends."""
     global _BUILTINS_LOADED
     if not _BUILTINS_LOADED:
+        # idempotent one-way latch: a racing double-set is harmless (both
+        # writers store True) and the import below is serialized by the
+        # interpreter's own import lock
+        # repro-lint: ignore[thread-escape]
         _BUILTINS_LOADED = True
         import repro.core.backends  # noqa: F401  (registers the built-ins)
 

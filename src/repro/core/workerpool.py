@@ -206,7 +206,8 @@ class WorkerPool:
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Submit a task, respawning the executor once if it turned out broken."""
-        self.n_submitted += 1
+        with self._lock:
+            self.n_submitted += 1
         try:
             future = self._ensure().submit(fn, *args, **kwargs)
         except (BrokenExecutor, RuntimeError):
@@ -334,7 +335,8 @@ class ThreadPool:
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Submit a task, respawning the executor if it was shut down."""
-        self.n_submitted += 1
+        with self._lock:
+            self.n_submitted += 1
         try:
             future = self._ensure().submit(fn, *args, **kwargs)
         except RuntimeError:
@@ -389,6 +391,9 @@ class ThreadPool:
 _shared: Optional[WorkerPool] = None
 _shared_lock = threading.Lock()
 _pins = 0
+#: separate from _shared_lock: _register_atexit is called from both pool
+#: constructors, whose callers may already hold the respective pool lock
+_atexit_lock = threading.Lock()
 _atexit_registered = False
 
 #: every not-yet-closed SlabArena, swept at interpreter exit so no /dev/shm
@@ -410,11 +415,12 @@ def _close_open_arenas() -> None:
 
 def _register_atexit() -> None:
     global _atexit_registered
-    if not _atexit_registered:
-        atexit.register(shutdown_shared_pool)
-        atexit.register(shutdown_shared_thread_pool)
-        atexit.register(_close_open_arenas)
-        _atexit_registered = True
+    with _atexit_lock:
+        if not _atexit_registered:
+            atexit.register(shutdown_shared_pool)
+            atexit.register(shutdown_shared_thread_pool)
+            atexit.register(_close_open_arenas)
+            _atexit_registered = True
 
 
 def _shared_pool_locked(n_workers: int, blas_threads: Optional[int] = 1) -> WorkerPool:

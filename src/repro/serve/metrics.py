@@ -1,15 +1,16 @@
 """Serving metrics: counters, gauges, and per-stage latency percentiles.
 
 One :class:`ServeMetrics` object per daemon; the ``/metrics`` endpoint
-renders :meth:`ServeMetrics.to_dict` as JSON.  Counters are plain ints
-(mutated on the event loop); latency series keep a bounded reservoir of the
-most recent samples per stage (``queue_wait``, ``run``, ``total``) and
-compute percentiles on demand — recent-window percentiles are what an
-operator tuning queue depth and worker count actually needs, and the bound
-keeps a month-long daemon's memory flat.
+renders :meth:`ServeMetrics.to_dict` as JSON.  Latency series keep a
+bounded reservoir of the most recent samples per stage (``queue_wait``,
+``run``, ``total``) and compute percentiles on demand — recent-window
+percentiles are what an operator tuning queue depth and worker count
+actually needs, and the bound keeps a month-long daemon's memory flat.
 
-A lock guards the series because samples can be recorded from executor
-callbacks while ``/metrics`` snapshots from the loop thread.
+Locks guard both the series and the counters because samples and counter
+bumps can land from executor callbacks while ``/metrics`` snapshots from
+the loop thread — ``+=`` on a dict entry is a read-modify-write, not an
+atomic step.
 """
 
 from __future__ import annotations
@@ -99,6 +100,9 @@ class ServeMetrics:
 
     def __init__(self, window: int = DEFAULT_WINDOW):
         self.started_unix = time.time()
+        # guards ``counts`` — bumps arrive from pool-side done-callbacks
+        # while the loop thread snapshots, and `+=` is not atomic
+        self._lock = threading.Lock()
         self.counts: Dict[str, int] = {name: 0 for name in self.COUNTERS}
         self.latency = {
             "queue_wait": LatencySeries(window),
@@ -108,7 +112,8 @@ class ServeMetrics:
 
     # ------------------------------------------------------------------ #
     def inc(self, name: str, by: int = 1) -> None:
-        self.counts[name] += by
+        with self._lock:
+            self.counts[name] += by
 
     def record_latency(self, stage: str, seconds: Optional[float]) -> None:
         if seconds is not None:
@@ -131,7 +136,8 @@ class ServeMetrics:
         extra: Optional[Dict] = None,
     ) -> Dict:
         """The full ``/metrics`` JSON document."""
-        jobs = dict(self.counts)
+        with self._lock:
+            jobs = dict(self.counts)  # one coherent snapshot of every counter
         submitted = jobs["submitted"]
         served_fast = jobs["cache_hits"] + jobs["collapsed"]
         out = {

@@ -91,6 +91,10 @@ class FairPriorityQueue:
     def _wakeup(self) -> asyncio.Event:
         event = self._not_empty
         if event is None:
+            # loop-confined: every queue method runs on the event loop
+            # thread (start_in_thread's worker *is* that thread), so the
+            # lazy Event creation can never race another writer
+            # repro-lint: ignore[thread-escape]
             event = self._not_empty = asyncio.Event()
         return event
 
@@ -118,9 +122,13 @@ class FairPriorityQueue:
         self._account_removed(job)
 
     def _account_removed(self, job: Job) -> None:
+        # loop-confined (see _wakeup): get()/cancel() callers all run on
+        # the event loop thread, never on pool workers
+        # repro-lint: ignore[thread-escape]
         self._live -= 1
         remaining = self._pending_per_client[job.client] - 1
         if remaining > 0:
+            # repro-lint: ignore[thread-escape]
             self._pending_per_client[job.client] = remaining
         else:
             # drop exhausted clients so the dict cannot grow with client churn

@@ -28,7 +28,13 @@ from repro.staticcheck.apisnapshot import (
     load_snapshot,
     write_snapshot,
 )
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    build_call_graph,
+    write_callgraph,
+)
 from repro.staticcheck.engine import LintReport, iter_python_files, lint_paths
+from repro.staticcheck.memo import LintMemo
 from repro.staticcheck.model import Finding, ModuleContext, ProjectContext
 from repro.staticcheck.registry import (
     RuleInfo,
@@ -41,13 +47,16 @@ from repro.staticcheck.registry import (
 )
 
 __all__ = [
+    "CallGraph",
     "Finding",
+    "LintMemo",
     "LintReport",
     "ModuleContext",
     "ProjectContext",
     "RuleInfo",
     "available_rules",
     "build_api_surface",
+    "build_call_graph",
     "diff_surfaces",
     "iter_python_files",
     "lint_paths",
@@ -57,5 +66,6 @@ __all__ = [
     "rule_info",
     "rules",
     "unregister_rule",
+    "write_callgraph",
     "write_snapshot",
 ]

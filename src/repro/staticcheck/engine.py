@@ -23,7 +23,10 @@ import ast
 import json
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.memo import LintMemo
 
 from repro.staticcheck.model import Finding, ModuleContext, ProjectContext
 from repro.staticcheck.registry import available_rules, rule_info
@@ -132,6 +135,7 @@ def lint_paths(
     paths: Sequence[str],
     rule_ids: Optional[Iterable[str]] = None,
     snapshot_path: Optional[str] = None,
+    memo: Optional["LintMemo"] = None,
 ) -> LintReport:
     """Lint *paths* (files and/or directories) and return the report.
 
@@ -140,6 +144,11 @@ def lint_paths(
     like unknown backends.  ``snapshot_path`` feeds project-scope rules —
     the ``api-snapshot`` rule is skipped when it is ``None`` (module-scope
     fixture runs in the test suite) and enforced when given (the CI gate).
+    ``memo`` (a :class:`repro.staticcheck.memo.LintMemo`) re-uses per-file
+    module-rule results keyed on content + rule fingerprints; project
+    rules always run live (their unit of analysis is the corpus, not a
+    file), and a memo hit still parses the file when project rules are in
+    the run, since they need its AST.
     """
     infos = _select_rules(rule_ids)
     report = LintReport(rule_ids=[info.id for info in infos])
@@ -152,25 +161,54 @@ def lint_paths(
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            tree = ast.parse(source, filename=path)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            line = getattr(exc, "lineno", 0) or 0
+        except (UnicodeDecodeError, OSError) as exc:
             report.parse_errors.append(Finding(
-                message=f"cannot parse: {exc}", line=line, col=0,
+                message=f"cannot parse: {exc}", line=0, col=0,
                 rule="parse-error", severity="error", path=path,
             ))
             continue
-        context = ModuleContext(path=path, source=source, tree=tree)
-        contexts.append(context)
+
+        cached = None
+        memo_key = None
+        if memo is not None:
+            memo_key = memo.key(source, module_rules)
+            cached = memo.load(memo_key)
+
+        context = None
+        if project_rules or cached is None:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                line = getattr(exc, "lineno", 0) or 0
+                report.parse_errors.append(Finding(
+                    message=f"cannot parse: {exc}", line=line, col=0,
+                    rule="parse-error", severity="error", path=path,
+                ))
+                continue
+            context = ModuleContext(path=path, source=source, tree=tree)
+            contexts.append(context)
+
+        if cached is not None:
+            file_findings, file_suppressed = cached
+            report.findings.extend(replace(f, path=path) for f in file_findings)
+            report.suppressed.extend(replace(f, path=path) for f in file_suppressed)
+            continue
+
+        file_findings = []
+        file_suppressed = []
         for info in module_rules:
             for draft in info.func(context):
                 finding = draft.stamped(
                     rule=info.id, severity=info.severity, path=path
                 )
                 if context.is_suppressed(finding.line, info.id):
-                    report.suppressed.append(replace(finding, suppressed=True))
+                    file_suppressed.append(replace(finding, suppressed=True))
                 else:
-                    report.findings.append(finding)
+                    file_findings.append(finding)
+        report.findings.extend(file_findings)
+        report.suppressed.extend(file_suppressed)
+        if memo is not None and memo_key is not None:
+            memo.store(memo_key, file_findings, file_suppressed)
 
     if project_rules:
         project = ProjectContext(
@@ -178,14 +216,21 @@ def lint_paths(
             modules=contexts,
             options={"snapshot_path": snapshot_path},
         )
+        context_by_path = {context.path: context for context in contexts}
         for info in project_rules:
             for draft in info.func(project):
-                report.findings.append(
-                    draft.stamped(
-                        rule=info.id, severity=info.severity,
-                        path=draft.path or (snapshot_path or ""),
-                    )
+                finding = draft.stamped(
+                    rule=info.id, severity=info.severity,
+                    path=draft.path or (snapshot_path or ""),
                 )
+                # project rules anchor findings in real modules too
+                # (thread-escape, kernel-determinism) — honor at-site
+                # suppressions exactly like module-scope findings
+                context = context_by_path.get(finding.path)
+                if context is not None and context.is_suppressed(finding.line, info.id):
+                    report.suppressed.append(replace(finding, suppressed=True))
+                else:
+                    report.findings.append(finding)
 
     report.findings.sort(key=Finding.sort_key)
     return report

@@ -1,0 +1,162 @@
+"""Per-file lint memoization under the shared cache root.
+
+Linting is pure: module-scope findings are a function of (file content,
+rule implementations, tool version) and nothing else.  That makes them
+cacheable with exactly the content-addressed discipline
+:class:`repro.core.cache.ResultCache` applies to reconstructions — the
+memo lives beside it under ``default_cache_root()/lint`` and keys on a
+digest of the source bytes plus a fingerprint of every module rule in the
+run (*the rule function's own source*, so editing a rule invalidates its
+memo entries without any manual version bump).
+
+Only **module-scope** results are memoized: project rules reason over the
+whole corpus, so their findings are not a per-file function.  Stored
+findings are path-stripped — the same bytes at a new path (a file moved,
+a worktree checked out elsewhere) re-use the entry, and the engine stamps
+the current path back on at load.
+
+Entries are tiny JSON documents sharded two-level like every other cache
+in this repository (``lint/ab/abcdef....json``).  A corrupt or unreadable
+entry is treated as a miss, never an error — the memo is an accelerator,
+not a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import default_cache_root
+from repro.staticcheck.model import Finding
+from repro.utils.version import package_version
+
+__all__ = ["LintMemo", "default_memo_root"]
+
+#: Bumped when the stored schema changes (invalidates every entry).
+MEMO_FORMAT = 1
+
+
+def default_memo_root() -> str:
+    """``$REPRO_CACHE_DIR/lint`` (or the ``~/.cache/repro`` fallback)."""
+    return os.path.join(default_cache_root(), "lint")
+
+
+def _rule_fingerprint(info) -> str:
+    """A digest that changes whenever the rule's behaviour could.
+
+    The rule function's own source is the fingerprint — editing a rule
+    invalidates its memo entries immediately, with no version bump or
+    cache flush.  When the source is unavailable (REPL-defined test
+    rules), fall back to identity + version, which is strictly safe for
+    built-ins and merely conservative for ephemeral rules.
+    """
+    try:
+        body = inspect.getsource(info.func)
+    except (OSError, TypeError):
+        body = f"{info.module}:{package_version()}"
+    payload = f"{info.id}:{info.severity}:{info.scope}\n{body}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintMemo:
+    """Content-addressed store of per-file module-rule lint results."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_memo_root()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_stores = 0
+        self._fingerprints: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def key(self, source: str, module_rules: Sequence) -> str:
+        """The entry key for *source* linted by *module_rules*."""
+        digest = hashlib.sha256()
+        digest.update(f"repro-lint-memo format={MEMO_FORMAT}\n".encode("utf-8"))
+        for info in sorted(module_rules, key=lambda info: info.id):
+            fingerprint = self._fingerprints.get(info.id)
+            if fingerprint is None:
+                fingerprint = _rule_fingerprint(info)
+                self._fingerprints[info.id] = fingerprint
+            digest.update(f"rule {info.id} {fingerprint}\n".encode("utf-8"))
+        digest.update(b"--\n")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> Optional[Tuple[List[Finding], List[Finding]]]:
+        """``(findings, suppressed)`` for *key*, or ``None`` on a miss.
+
+        Returned findings are path-stripped (``path=""``); the caller
+        stamps the current path.  Any read/parse problem is a miss.
+        """
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            findings = [self._finding(record) for record in document["findings"]]
+            suppressed = [self._finding(record) for record in document["suppressed"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.n_misses += 1
+            return None
+        self.n_hits += 1
+        return findings, suppressed
+
+    def store(self, key: str, findings: Sequence[Finding],
+              suppressed: Sequence[Finding]) -> None:
+        """Persist one file's module-rule results (atomic rename write)."""
+        entry_path = self._entry_path(key)
+        document = {
+            "format": MEMO_FORMAT,
+            "version": package_version(),
+            "findings": [self._record(f) for f in findings],
+            "suppressed": [self._record(f) for f in suppressed],
+        }
+        try:
+            os.makedirs(os.path.dirname(entry_path), exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(entry_path), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(temp_path, entry_path)
+        except OSError:
+            return  # read-only cache dir: the memo silently degrades to off
+        self.n_stores += 1
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record(finding: Finding) -> Dict:
+        record = finding.to_dict()
+        record.pop("path", None)  # path-stripped: content-addressed, not located
+        return record
+
+    @staticmethod
+    def _finding(record: Dict) -> Finding:
+        return Finding(
+            message=str(record["message"]),
+            line=int(record["line"]),
+            col=int(record["col"]),
+            rule=str(record["rule"]),
+            severity=str(record["severity"]),
+            suppressed=bool(record.get("suppressed", False)),
+        )
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_stores": self.n_stores,
+        }
+
+
+def _restamp(findings: Sequence[Finding], path: str) -> List[Finding]:
+    """Stamp *path* onto path-stripped memo findings (engine helper)."""
+    return [replace(finding, path=path) for finding in findings]

@@ -9,7 +9,9 @@ from repro.staticcheck.rules import (  # noqa: F401  (import = registration)
     api_snapshot,
     async_purity,
     kernel_determinism,
+    lock_discipline,
     registry_contract,
     resource_lifecycle,
+    thread_escape,
     type_discipline,
 )

@@ -1,0 +1,331 @@
+"""Shared lock-analysis helpers for the concurrency rules.
+
+Both ``lock-discipline`` (per-class, module scope) and ``thread-escape``
+(whole-program, project scope) need the same primitives: which attributes
+of a class are locks, which module-level names are locks, which local
+names alias a lock, whether a statement sits inside a lock-guarded
+region, and which ``self`` field a statement mutates.  Keeping them here
+means the two rules can never disagree about what "under the lock" means.
+
+A *lock region* is recognized in the two sanctioned shapes::
+
+    with self._lock:              # (a) context-manager form
+        self.n_hits += 1
+
+    self._lock.acquire()          # (b) explicit acquire/try/finally form
+    try:
+        self.n_hits += 1
+    finally:
+        self._lock.release()
+
+Form (b) is matched structurally: a ``try`` whose immediately preceding
+sibling statement is ``<lock>.acquire(...)``.  Anything cleverer (lock
+handed through a helper, caller-holds-lock contracts) is exactly what the
+at-site ``# repro-lint: ignore[...]`` suppression with a justification is
+for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.model import ModuleContext
+
+__all__ = [
+    "class_guard_map",
+    "class_lock_attrs",
+    "collect_lock_aliases",
+    "global_declarations",
+    "in_lock_region",
+    "is_lock_factory",
+    "iter_class_defs",
+    "iter_methods",
+    "local_bindings",
+    "module_lock_names",
+    "module_mutable_names",
+    "written_names",
+    "written_self_fields",
+]
+
+#: dotted callables whose result is a mutual-exclusion lock
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+}
+
+
+def is_lock_factory(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when *node* is a call producing a lock (``threading.Lock()``)."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = ctx.dotted_name(node.func)
+    return dotted in _LOCK_FACTORIES
+
+
+def iter_class_defs(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iter_methods(class_node: ast.ClassDef) -> Iterator[ast.AST]:
+    """Direct function children of a class body (its methods)."""
+    for child in class_node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+
+
+def class_lock_attrs(ctx: ModuleContext, class_node: ast.ClassDef) -> Set[str]:
+    """Names of ``self.X`` attributes assigned a lock in ``__init__``."""
+    attrs: Set[str] = set()
+    for method in iter_methods(class_node):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and value is not None
+                and is_lock_factory(ctx, value)
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def module_lock_names(ctx: ModuleContext) -> Set[str]:
+    """Module-level names bound to a lock (``_shared_lock = threading.Lock()``)."""
+    names: Set[str] = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and is_lock_factory(ctx, node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None
+            and is_lock_factory(ctx, node.value)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def module_mutable_names(ctx: ModuleContext) -> Set[str]:
+    """Module-level assigned names (the globals a thread could stomp on).
+
+    Imports, defs and classes are excluded — rebinding those from a pool
+    thread would be caught as a plain global write anyway, and the set
+    here feeds subscript/attribute-store detection (``_REGISTRY[k] = v``).
+    """
+    names: Set[str] = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names - module_lock_names(ctx)
+
+
+def collect_lock_aliases(func_node: ast.AST, lock_attrs: Set[str],
+                         module_locks: Set[str]) -> Set[str]:
+    """Local names aliasing a lock (``lock = self._lock`` / ``lk = _big_lock``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(func_node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if _is_lock_expr(node.value, lock_attrs, module_locks, set()):
+            aliases.add(target.id)
+    return aliases
+
+
+def _is_lock_expr(expr: ast.AST, lock_attrs: Set[str],
+                  module_locks: Set[str], aliases: Set[str]) -> bool:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+        and expr.attr in lock_attrs
+    ):
+        return True
+    if isinstance(expr, ast.Name) and (
+        expr.id in module_locks or expr.id in aliases
+    ):
+        return True
+    return False
+
+
+def _preceding_sibling(ctx: ModuleContext, node: ast.AST) -> Optional[ast.AST]:
+    parent = ctx.parents.get(node)
+    if parent is None:
+        return None
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list) and node in block:
+            index = block.index(node)
+            return block[index - 1] if index > 0 else None
+    return None
+
+
+def in_lock_region(ctx: ModuleContext, node: ast.AST, lock_attrs: Set[str],
+                   module_locks: Set[str], aliases: Set[str]) -> bool:
+    """True when *node* executes under one of the recognized lock shapes."""
+    chain: List[ast.AST] = [node]
+    chain.extend(ctx.ancestors(node))
+    for ancestor in chain:
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                if _is_lock_expr(item.context_expr, lock_attrs, module_locks, aliases):
+                    return True
+        elif isinstance(ancestor, ast.Try):
+            previous = _preceding_sibling(ctx, ancestor)
+            if (
+                isinstance(previous, ast.Expr)
+                and isinstance(previous.value, ast.Call)
+                and isinstance(previous.value.func, ast.Attribute)
+                and previous.value.func.attr == "acquire"
+                and _is_lock_expr(
+                    previous.value.func.value, lock_attrs, module_locks, aliases
+                )
+            ):
+                return True
+    return False
+
+
+def written_self_fields(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """``(field, anchor)`` for every ``self.X`` mutation in *node*'s subtree.
+
+    Covers plain/augmented/annotated assignment, ``del``, and item stores
+    through one subscript level (``self.X[k] = v`` mutates field ``X``).
+    """
+    for child in ast.walk(node):
+        targets: List[ast.AST] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        elif isinstance(child, ast.Delete):
+            targets = list(child.targets)
+        for target in targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                yield base.attr, child
+
+
+def written_names(node: ast.AST) -> Iterator[Tuple[str, str, ast.AST]]:
+    """``(name, how, anchor)`` for name-rooted mutations in *node*'s subtree.
+
+    ``how`` is ``"rebind"`` for a plain name target and ``"item"`` for a
+    subscript/attribute store rooted at the name.  ``self`` roots are the
+    business of :func:`written_self_fields` and are skipped here.
+    """
+    for child in ast.walk(node):
+        targets: List[ast.AST] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        elif isinstance(child, ast.Delete):
+            targets = list(child.targets)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                yield target.id, "rebind", child
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value  # type: ignore[assignment]
+                if isinstance(base, ast.Name) and base.id != "self":
+                    yield base.id, "item", child
+
+
+def global_declarations(func_node: ast.AST) -> Set[str]:
+    """Names the function explicitly declares ``global``."""
+    names: Set[str] = set()
+    for child in ast.walk(func_node):
+        if isinstance(child, ast.Global):
+            names.update(child.names)
+    return names
+
+
+def local_bindings(func_node: ast.AST) -> Set[str]:
+    """Names bound locally (params + plain assignments + for/with targets)."""
+    names: Set[str] = set()
+    args = getattr(func_node, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+    declared_global = global_declarations(func_node)
+    for child in ast.walk(func_node):
+        found: List[ast.AST] = []
+        if isinstance(child, ast.Assign):
+            found = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            found = [child.target]
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            found = [child.target]
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            found = [
+                item.optional_vars for item in child.items
+                if item.optional_vars is not None
+            ]
+        for target in found:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    names.add(name_node.id)
+    return names - declared_global
+
+
+def class_guard_map(ctx: ModuleContext,
+                    class_node: ast.ClassDef) -> Dict[str, object]:
+    """The per-class lock model both concurrency rules consume.
+
+    Returns ``{"locks": set, "guarded": {field: first-guarding-method},
+    "writes": [(method, field, anchor, guarded)]}`` where ``writes``
+    excludes ``__init__`` (construction happens before sharing) and the
+    lock attributes themselves.
+    """
+    locks = class_lock_attrs(ctx, class_node)
+    module_locks = module_lock_names(ctx)
+    guarded: Dict[str, str] = {}
+    writes: List[Tuple[ast.AST, str, ast.AST, bool]] = []
+    if not locks:
+        return {"locks": locks, "guarded": guarded, "writes": writes}
+    for method in iter_methods(class_node):
+        aliases = collect_lock_aliases(method, locks, module_locks)
+        for field_name, anchor in written_self_fields(method):
+            if field_name in locks:
+                continue
+            is_guarded = in_lock_region(ctx, anchor, locks, module_locks, aliases)
+            if method.name == "__init__":
+                continue
+            writes.append((method, field_name, anchor, is_guarded))
+            if is_guarded and field_name not in guarded:
+                guarded[field_name] = method.name
+    return {"locks": locks, "guarded": guarded, "writes": writes}

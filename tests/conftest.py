@@ -21,6 +21,27 @@ from repro.synthetic.sample import DepthSourceField
 from repro.synthetic.workloads import make_benchmark_workload, make_point_source_stack
 
 
+@pytest.fixture(autouse=True)
+def _race_sanitizer_gate():
+    """Fail any test during which an unsynchronized cross-thread write landed.
+
+    No-op unless ``REPRO_RACE_SANITIZER=1`` (the CI sanitizer lane).  The
+    pre-test drain clears writes recorded during collection/imports so a
+    violation is attributed to the test that actually produced it.
+    """
+    from repro.staticcheck import sanitizer
+
+    if not sanitizer.enabled():
+        yield
+        return
+    sanitizer.drain()
+    yield
+    violations = sanitizer.drain()
+    assert not violations, "race sanitizer: " + "; ".join(
+        v.render() for v in violations
+    )
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A deterministic random generator."""

@@ -1,0 +1,14 @@
+"""A fixture package with one deliberately planted data race.
+
+Never imported by the library — it exists so the test suite can prove the
+concurrency tooling end-to-end: ``thread-escape`` must flag the unlocked
+``TallyBoard.bump_miss`` write reachable from a thread submission
+(:mod:`tests.test_concurrency_rules`), and the runtime race sanitizer
+must catch the same write dynamically when :func:`racepkg.runner.hammer`
+drives it from real threads (:mod:`tests.test_sanitizer`).
+"""
+
+from racepkg.board import TallyBoard
+from racepkg.runner import hammer
+
+__all__ = ["TallyBoard", "hammer"]

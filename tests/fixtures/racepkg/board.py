@@ -1,0 +1,32 @@
+"""The shared object under test: a tally with one unguarded mutation."""
+
+import threading
+
+
+class TallyBoard:
+    """A hit/miss tally shared across worker threads.
+
+    ``hits`` and ``misses`` are both guarded by ``_lock`` in at least one
+    method (``record_hit``/``reset``), so the lint rules infer both as
+    lock-protected fields — which makes the unlocked write in
+    :meth:`bump_miss` the planted violation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def bump_miss(self) -> None:
+        # PLANTED RACE — do not fix: the lint rule and the runtime
+        # sanitizer must both keep catching this unguarded read-modify-write
+        self.misses += 1
